@@ -1,0 +1,206 @@
+package repro_test
+
+// One benchmark per paper table/figure: each regenerates its artifact at
+// the "tiny" experiment scale per iteration, so `go test -bench=.`
+// exercises the full reproduction pipeline and reports how long each
+// artifact takes to rebuild. Ablation benches cover the design choices
+// DESIGN.md stars.
+//
+// Run a single artifact:  go test -bench=BenchmarkTable2 -benchtime=1x
+// Full sweep:             go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/sim"
+)
+
+// benchScale keeps per-iteration cost bounded; the memo cache is NOT
+// shared across iterations (each gets a fresh runner) so timings reflect
+// real simulation work.
+func benchScale() expt.Scale {
+	s := expt.Tiny()
+	s.Warmup = 30_000
+	s.ROI = 100_000
+	s.SampleEvery = 20_000
+	s.Reruns = 2
+	s.Sweep = []float64{0.05, 0.5}
+	s.Workloads = []string{"453.povray", "450.soplex", "470.lbm"}
+	return s
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner := expt.NewRunner(benchScale())
+		tables, err := expt.RunExperiment(id, runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+
+// BenchmarkSimulatorThroughput measures raw single-core simulation speed
+// (instructions per second ≈ 1/(ns per instruction × 1e-9)); the figure
+// behind Table I's cost claims.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const roi = 200_000
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Workload:     "403.gcc",
+			WarmupInstrs: 1,
+			ROIInstrs:    roi,
+			SampleEvery:  roi,
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(roi), "instrs/op")
+}
+
+// BenchmarkModeCosts compares per-mode simulation cost: the 2nd-Trace
+// row of Table I is expected to run ≈2× the isolation row, PInTE ≈1×.
+func BenchmarkModeCosts(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"Isolation", sim.Config{Workload: "433.milc"}},
+		{"PInTE", sim.Config{Workload: "433.milc", Mode: sim.PInTE, PInduce: 0.3}},
+		{"SecondTrace", sim.Config{Workload: "433.milc", Mode: sim.SecondTrace, Adversary: "470.lbm"}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := m.cfg
+			cfg.WarmupInstrs = 20_000
+			cfg.ROIInstrs = 100_000
+			cfg.SampleEvery = 100_000
+			cfg.Seed = 1
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPolicyHook measures PInTE injection under each LLC
+// replacement policy — the policy-agnostic hook ablation (DESIGN.md ★).
+func BenchmarkAblationPolicyHook(b *testing.B) {
+	for _, pol := range []string{"lru", "plru", "nmru", "rrip"} {
+		b.Run(pol, func(b *testing.B) {
+			cfg := sim.Config{
+				Workload:     "450.soplex",
+				Mode:         sim.PInTE,
+				PInduce:      0.5,
+				WarmupInstrs: 20_000,
+				ROIInstrs:    100_000,
+				SampleEvery:  100_000,
+				Seed:         1,
+			}
+			cfg.Hier.LLC.Policy = pol
+			b.ReportAllocs()
+			var contention float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				contention = r.ContentionRate
+			}
+			b.ReportMetric(contention, "contention-rate")
+		})
+	}
+}
+
+// BenchmarkAblationMLP sweeps the core model's overlap factor — the
+// interval-model ablation (DESIGN.md ★): contention sensitivity should be
+// a property of the cache model, not of the chosen MLP.
+func BenchmarkAblationMLP(b *testing.B) {
+	for _, mlp := range []int{1, 2, 4, 8} {
+		b.Run(string(rune('0'+mlp)), func(b *testing.B) {
+			cfg := sim.Config{
+				Workload:     "433.milc",
+				Mode:         sim.PInTE,
+				PInduce:      0.5,
+				WarmupInstrs: 20_000,
+				ROIInstrs:    100_000,
+				SampleEvery:  100_000,
+				Seed:         1,
+			}
+			cfg.CPU.MLP = mlp
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = r.IPC
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+// BenchmarkAblationSeeds reruns one PInTE configuration across engine
+// seeds — the determinism/stability ablation (DESIGN.md ★). The reported
+// metric is the spread of IPC across seeds within the iteration.
+func BenchmarkAblationSeeds(b *testing.B) {
+	b.ReportAllocs()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		var lo, hi float64
+		for s := uint64(1); s <= 4; s++ {
+			r, err := sim.Run(sim.Config{
+				Workload:     "450.soplex",
+				Mode:         sim.PInTE,
+				PInduce:      0.3,
+				WarmupInstrs: 20_000,
+				ROIInstrs:    80_000,
+				SampleEvery:  80_000,
+				Seed:         1,
+				EngineSeed:   s,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lo == 0 || r.IPC < lo {
+				lo = r.IPC
+			}
+			if r.IPC > hi {
+				hi = r.IPC
+			}
+		}
+		spread = (hi - lo) / lo
+	}
+	b.ReportMetric(spread, "ipc-spread")
+}
+
+// Benches for this reproduction's beyond-the-paper experiments.
+
+func BenchmarkExt(b *testing.B)          { benchExperiment(b, "ext") }
+func BenchmarkCapacity(b *testing.B)     { benchExperiment(b, "capacity") }
+func BenchmarkPartitioning(b *testing.B) { benchExperiment(b, "partitioning") }

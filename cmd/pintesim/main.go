@@ -1,0 +1,114 @@
+// Command pintesim runs a single simulation and prints its metrics.
+//
+// Usage:
+//
+//	pintesim -workload 450.soplex
+//	pintesim -workload 450.soplex -mode pinte -pinduce 0.3
+//	pintesim -workload 450.soplex -mode 2nd-trace -adversary 470.lbm
+//	pintesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pintesim: ")
+
+	var (
+		workload  = flag.String("workload", "", "benchmark preset name")
+		mode      = flag.String("mode", "isolation", "isolation, pinte or 2nd-trace")
+		adversary = flag.String("adversary", "", "co-runner preset (2nd-trace mode)")
+		pinduce   = flag.Float64("pinduce", 0.1, "P_Induce (pinte mode)")
+		policy    = flag.String("policy", "lru", "LLC replacement policy: lru, plru, nmru, rrip")
+		inclusion = flag.String("inclusion", "no", "LLC inclusion: no, in, ex")
+		prefetchC = flag.String("prefetch", "000", "prefetch permutation: 000, NN0, NNN, NNI")
+		predictor = flag.String("branch", "hashed-perceptron", "branch predictor")
+		warmup    = flag.Uint64("warmup", 200_000, "warm-up instructions")
+		roi       = flag.Uint64("roi", 1_000_000, "region-of-interest instructions")
+		sample    = flag.Uint64("sample", 50_000, "sampling interval in instructions")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		list      = flag.Bool("list", false, "list benchmark presets and exit")
+		samples   = flag.Bool("samples", false, "print per-interval samples")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range trace.Names() {
+			p := trace.MustLookup(n)
+			fmt.Printf("%-16s %-9s %-11s footprint %8.1f KB\n",
+				n, p.Spec.Suite, p.Spec.Class, float64(p.Spec.Footprint())/1024)
+		}
+		return
+	}
+	if *workload == "" {
+		log.Fatal("missing -workload (use -list to see presets)")
+	}
+
+	cfg := sim.Config{
+		Workload:     *workload,
+		Adversary:    *adversary,
+		PInduce:      *pinduce,
+		Branch:       *predictor,
+		WarmupInstrs: *warmup,
+		ROIInstrs:    *roi,
+		SampleEvery:  *sample,
+		Seed:         *seed,
+	}
+	switch *mode {
+	case "isolation":
+		cfg.Mode = sim.Isolation
+	case "pinte":
+		cfg.Mode = sim.PInTE
+	case "2nd-trace":
+		cfg.Mode = sim.SecondTrace
+		if *adversary == "" {
+			log.Fatal("2nd-trace mode requires -adversary")
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	cfg.Hier.LLC.Policy = *policy
+	incl, err := cache.ParseInclusion(*inclusion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Hier.Inclusion = incl
+	cfg.Hier.Prefetch = *prefetchC
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload        %s (%s)\n", *workload, *mode)
+	fmt.Printf("instructions    %d in %d cycles\n", res.Instrs, res.Cycles)
+	fmt.Printf("IPC             %.4f\n", res.IPC)
+	fmt.Printf("LLC miss rate   %.2f%%\n", 100*res.MissRate)
+	fmt.Printf("AMAT            %.1f cycles\n", res.AMAT)
+	fmt.Printf("contention rate %.2f%%\n", 100*res.ContentionRate)
+	fmt.Printf("branch accuracy %.2f%%\n", 100*res.BranchAccuracy)
+	fmt.Printf("LLC occupancy   %.1f%%\n", 100*res.OccupancyFrac)
+	fmt.Printf("L2/LLC MPKI     %.2f / %.2f\n", res.L2MPKI, res.LLCMPKI)
+	if res.Engine != nil {
+		fmt.Printf("PInTE engine    accesses %d, trigger rate %.3f, invalidations %d\n",
+			res.Engine.Accesses, res.Engine.TriggerRate(), res.Engine.Invalidations)
+	}
+	fmt.Printf("wall time       %s\n", res.WallTime.Round(0))
+
+	if *samples {
+		fmt.Println("\ninstrs       IPC      MR     AMAT   interf   theft   occ")
+		for _, s := range res.Samples {
+			fmt.Printf("%9d  %6.3f  %5.1f%%  %6.1f  %5.1f%%  %5.1f%%  %4.1f%%\n",
+				s.Instrs, s.IPC, 100*s.MissRate, s.AMAT,
+				100*s.InterferenceRate, 100*s.TheftRate, 100*s.OccupancyFrac)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Command pintetrace generates, inspects and converts instruction
+// traces.
+//
+//	pintetrace gen -workload 429.mcf -n 1000000 -o mcf.trc.gz
+//	pintetrace info mcf.trc.gz
+//	pintetrace convert -to champsim mcf.trc.gz mcf.champsim
+//	pintetrace convert -from champsim mcf.champsim mcf.trc.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pintetrace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pintetrace gen -workload <preset> [-n N] [-seed S] -o <file[.gz]>
+  pintetrace info <file>
+  pintetrace convert -to champsim <in.trc[.gz]> <out>
+  pintetrace convert -from champsim <in> <out.trc[.gz]>`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "", "benchmark preset")
+	n := fs.Uint64("n", 1_000_000, "instructions to generate")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output trace path (.gz compresses)")
+	fs.Parse(args)
+	if *workload == "" || *out == "" {
+		usage()
+	}
+	spec, err := trace.SpecFor(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(spec, *seed, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrote, err := trace.WriteAll(*out, trace.Limit(gen, *n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", wrote, *out)
+}
+
+func cmdInfo(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	r, err := trace.OpenFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	var (
+		rec      trace.Record
+		n        uint64
+		loads    uint64
+		deps     uint64
+		stores   uint64
+		branches uint64
+		taken    uint64
+		blocks   = map[uint64]bool{}
+		minA     = ^uint64(0)
+		maxA     uint64
+	)
+	for {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
+		for _, a := range []uint64{rec.Load0, rec.Load1} {
+			if a == 0 {
+				continue
+			}
+			loads++
+			track(a, blocks, &minA, &maxA)
+		}
+		if rec.Dependent {
+			deps++
+		}
+		if rec.Store != 0 {
+			stores++
+			track(rec.Store, blocks, &minA, &maxA)
+		}
+		if rec.IsBranch {
+			branches++
+			if rec.Taken {
+				taken++
+			}
+		}
+	}
+	if n == 0 {
+		log.Fatal("empty trace")
+	}
+	fmt.Printf("records        %d\n", n)
+	fmt.Printf("loads          %d (%.1f%% dependent)\n", loads, pct(deps, loads))
+	fmt.Printf("stores         %d\n", stores)
+	fmt.Printf("branches       %d (%.1f%% taken)\n", branches, pct(taken, branches))
+	fmt.Printf("touched blocks %d (%.1f KB footprint)\n", len(blocks), float64(len(blocks))*64/1024)
+	fmt.Printf("address range  %#x .. %#x\n", minA, maxA)
+}
+
+func track(a uint64, blocks map[uint64]bool, minA, maxA *uint64) {
+	blocks[a/64] = true
+	if a < *minA {
+		*minA = a
+	}
+	if a > *maxA {
+		*maxA = a
+	}
+}
+
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	to := fs.String("to", "", "target format: champsim")
+	from := fs.String("from", "", "source format: champsim")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 || (*to == "") == (*from == "") {
+		usage()
+	}
+	in, out := rest[0], rest[1]
+	switch {
+	case *to == "champsim":
+		src, err := trace.OpenFile(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer src.Close()
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := trace.NewChampSimWriter(f)
+		n, err := pump(src, w.Write)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("converted %d records to ChampSim format\n", n)
+	case *from == "champsim":
+		src, err := trace.OpenChampSim(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer src.Close()
+		n, err := trace.WriteAll(out, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("converted %d records from ChampSim format\n", n)
+	default:
+		log.Fatalf("unsupported format %q", *to+*from)
+	}
+}
+
+func pump(src trace.Reader, write func(*trace.Record) error) (uint64, error) {
+	var rec trace.Record
+	var n uint64
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := write(&rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is the module root of a from-scratch Go reproduction of
+// "PInTE: Probabilistic Induction of Theft Evictions" (Gomes, Chen &
+// Hempstead, IISWC 2022).
+//
+// The public API lives in repro/pinte; command-line tools in cmd/; the
+// per-table/figure experiment harness in internal/expt (driven by
+// cmd/pintereport and by the benchmarks in bench_test.go at this root).
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,88 @@
+// Command extensions demonstrates the two beyond-the-paper mechanisms
+// this reproduction implements from the paper's own limitation analysis
+// (§IV-E2b): PInTE only injects at the LLC, so DRAM-bound workloads
+// under-respond, and it only triggers on LLC accesses, so core-bound
+// workloads see nothing. The DRAM-contention injector and the
+// access-independent module address each case.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pinte"
+)
+
+func drop(r *pinte.Result, iso *pinte.Result) float64 {
+	return 100 * (r.IPC - iso.IPC) / iso.IPC
+}
+
+func main() {
+	// Case 1: a DRAM-bound pointer chaser (the paper's worst IPC-error
+	// class, 429.mcf: −71.53% in Table II). LLC theft barely moves it;
+	// a real co-runner also congests memory.
+	const dramBound = "429.mcf"
+	iso, err := pinte.Run(pinte.Experiment{Workload: dramBound, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := pinte.Run(pinte.Experiment{
+		Workload: dramBound, Mode: pinte.ModeSecondTrace, Adversary: "470.lbm", Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := pinte.Run(pinte.Experiment{
+		Workload: dramBound, Mode: pinte.ModePInTE, PInduce: 0.5, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	extended, err := pinte.Run(pinte.Experiment{
+		Workload: dramBound, Mode: pinte.ModePInTE, PInduce: 0.5, Seed: 5,
+		Extensions: pinte.Extensions{
+			DRAMContentionProb:    0.5,
+			DRAMContentionPenalty: 200,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (DRAM-bound)\n", dramBound)
+	fmt.Printf("  2nd-Trace co-run:       ΔIPC %+6.2f%%  (the behaviour to approximate)\n", drop(second, iso))
+	fmt.Printf("  PInTE (LLC only):       ΔIPC %+6.2f%%  (under-responds: misses already go to DRAM)\n", drop(plain, iso))
+	fmt.Printf("  PInTE + DRAM injection: ΔIPC %+6.2f%%  (off-chip pressure restored)\n\n", drop(extended, iso))
+
+	// Case 2: a core-bound workload (paper's '*' class). Its LLC
+	// accesses are so rare that access-coupled injection starves; the
+	// independent module injects on a schedule instead.
+	const coreBound = "456.hmmer"
+	iso2, err := pinte.Run(pinte.Experiment{Workload: coreBound, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coupled, err := pinte.Run(pinte.Experiment{
+		Workload: coreBound, Mode: pinte.ModePInTE, PInduce: 0.9, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	independent, err := pinte.Run(pinte.Experiment{
+		Workload: coreBound, Mode: pinte.ModePInTE, PInduce: 0.9, Seed: 5,
+		Extensions: pinte.Extensions{IndependentPeriod: 64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// For the '*' class the paper's complaint is distorted LLC-side
+	// metrics (MR error), not IPC — hmmer's IPC barely moves either
+	// way. What the independent module changes is whether injection
+	// pressure reaches the workload's resident blocks at all.
+	_ = iso2
+	fmt.Printf("%s (core-bound)\n", coreBound)
+	fmt.Printf("  PInTE access-coupled:   %6d induced thefts, LLC miss rate %5.1f%%\n",
+		coupled.InducedThefts, 100*coupled.MissRate)
+	fmt.Printf("  PInTE independent(64):  %6d induced thefts, LLC miss rate %5.1f%%\n",
+		independent.InducedThefts, 100*independent.MissRate)
+	fmt.Println("\nboth mechanisms are off by default; see internal/core/extensions.go")
+}

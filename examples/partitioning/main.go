@@ -1,0 +1,47 @@
+// Command partitioning demonstrates the contention-aware design loop the
+// PInTE paper motivates: a cache-sensitive workload is victimised by a
+// streaming co-runner; dynamic LLC partitioning (utility-based UCP, or
+// the CASHT-style controller driven by the same theft counters PInTE
+// analysis uses) restores most of its performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pinte"
+)
+
+func main() {
+	const victim = "450.soplex" // LLC-bound pointer chaser
+	const aggressor = "470.lbm" // DRAM-bound streamer
+
+	iso, err := pinte.Run(pinte.Experiment{Workload: victim, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim %s in isolation: IPC %.3f\n\n", victim, iso.IPC)
+	fmt.Printf("co-running with %s:\n", aggressor)
+	fmt.Println("LLC management    victim wIPC   victim contention")
+
+	for _, ctrl := range []struct{ name, label string }{
+		{"", "shared (none)"},
+		{"ucp", "UCP"},
+		{"theft", "theft-guided"},
+	} {
+		r, err := pinte.Run(pinte.Experiment{
+			Workload:  victim,
+			Mode:      pinte.ModeSecondTrace,
+			Adversary: aggressor,
+			Machine:   pinte.Machine{Partitioning: ctrl.name},
+			Seed:      9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s   %6.3f         %5.1f%%\n",
+			ctrl.label, r.WeightedIPC(iso.IPC), 100*r.ContentionRate)
+	}
+	fmt.Println("\nUCP pays for shadow-tag monitors; the theft controller reuses the")
+	fmt.Println("counters a PInTE-style contention analysis already maintains.")
+}

@@ -1,0 +1,56 @@
+// Command sensitivity reproduces a miniature of the paper's §V study: it
+// sweeps P_Induce over a handful of benchmarks, builds contention curves
+// (weighted IPC vs contention rate), and classifies each workload's
+// cache-contention sensitivity at a 5% tolerable performance loss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pinte"
+)
+
+func main() {
+	workloads := []string{
+		"453.povray", // core-bound: expect "low"
+		"450.soplex", // LLC-bound: expect sensitivity
+		"470.lbm",    // streaming: sensitive to theft of its window
+		"429.mcf",    // DRAM-bound: largely insensitive to LLC theft
+	}
+	sweep := []float64{0.01, 0.05, 0.1, 0.3, 0.5, 0.9}
+
+	for _, w := range workloads {
+		iso, err := pinte.Run(pinte.Experiment{Workload: w, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s (isolation IPC %.3f)\n", w, iso.IPC)
+		fmt.Println("  P_Induce  contention  weighted IPC")
+		var weighted []float64
+		for _, p := range sweep {
+			r, err := pinte.Run(pinte.Experiment{
+				Workload: w, Mode: pinte.ModePInTE, PInduce: p, Seed: 7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Pair run-time samples with the isolation run's samples
+			// (the paper's per-sample TPL comparison).
+			n := len(r.Samples)
+			if len(iso.Samples) < n {
+				n = len(iso.Samples)
+			}
+			for i := 0; i < n; i++ {
+				if iso.Samples[i].IPC > 0 {
+					weighted = append(weighted, r.Samples[i].IPC/iso.Samples[i].IPC)
+				}
+			}
+			fmt.Printf("    %5.2f     %5.1f%%      %.3f\n",
+				p, 100*r.ContentionRate, r.WeightedIPC(iso.IPC))
+		}
+		class, scp := pinte.Sensitivity(weighted, 0)
+		fmt.Printf("  => classification: %s sensitivity (SCP %.0f%%)\n\n", class, 100*scp)
+	}
+}

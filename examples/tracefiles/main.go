@@ -1,0 +1,93 @@
+// Command tracefiles demonstrates the on-disk trace workflow: generate a
+// synthetic SPEC-like trace, write it to a compressed trace file, read it
+// back, and verify the round trip — the path a user takes to plug real
+// (e.g. converted ChampSim) traces into the simulator.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pinte-traces-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const benchmark = "429.mcf"
+	const instructions = 250_000
+	spec, err := trace.SpecFor(benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, benchmark+".trc.gz")
+
+	// Generate and persist.
+	gen, err := trace.NewGenerator(spec, 42, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := trace.WriteAll(path, trace.Limit(gen, instructions))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records of %s to %s (%.1f KB, %.2f bytes/record)\n",
+		n, benchmark, filepath.Base(path), float64(st.Size())/1024,
+		float64(st.Size())/float64(n))
+
+	// Read back and verify against a fresh generator.
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fr.Close()
+	ref, err := trace.NewGenerator(spec, 42, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var got, want trace.Record
+	var loads, stores, branches, dependent int
+	for i := 0; ; i++ {
+		err := fr.Next(&got)
+		if err == io.EOF {
+			if i != instructions {
+				log.Fatalf("trace ended at %d records, want %d", i, instructions)
+			}
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ref.Next(&want); err != nil {
+			log.Fatal(err)
+		}
+		if got != want {
+			log.Fatalf("record %d differs after round trip:\n got %+v\nwant %+v", i, got, want)
+		}
+		loads += got.Loads()
+		if got.Store != 0 {
+			stores++
+		}
+		if got.IsBranch {
+			branches++
+		}
+		if got.Dependent {
+			dependent++
+		}
+	}
+	fmt.Println("round trip verified: every record identical")
+	fmt.Printf("mix: %d loads (%d dependent), %d stores, %d branches over %d instructions\n",
+		loads, dependent, stores, branches, instructions)
+}

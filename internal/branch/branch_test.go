@@ -1,0 +1,145 @@
+package branch
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("tage"); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}
+
+func TestNamesConstructible(t *testing.T) {
+	for _, n := range Names() {
+		p := MustNew(n)
+		if p.Name() != n {
+			t.Errorf("%q reports name %q", n, p.Name())
+		}
+	}
+}
+
+// accuracy trains p on a branch stream produced by gen and returns the
+// fraction predicted correctly over the second half (post warm-up).
+func accuracy(p Predictor, n int, gen func(i int, history uint64) (pc uint64, taken bool)) float64 {
+	var history uint64
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := gen(i, history)
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= n/2 {
+			counted++
+			if pred == taken {
+				correct++
+			}
+		}
+		history = history<<1 | b2u(taken)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestAllLearnStronglyBiasedBranch(t *testing.T) {
+	for _, n := range Names() {
+		p := MustNew(n)
+		acc := accuracy(p, 10_000, func(i int, _ uint64) (uint64, bool) {
+			return 0x400000 + uint64(i%16)*4, true
+		})
+		if acc < 0.99 {
+			t.Errorf("%s: accuracy %.3f on always-taken branches", n, acc)
+		}
+	}
+}
+
+func TestAllLearnLoopExits(t *testing.T) {
+	// Taken 7 of 8 times: simple counters reach ~7/8; history-based
+	// predictors can learn the exit exactly.
+	for _, n := range Names() {
+		p := MustNew(n)
+		acc := accuracy(p, 20_000, func(i int, _ uint64) (uint64, bool) {
+			return 0x400100, i%8 != 7
+		})
+		if acc < 0.8 {
+			t.Errorf("%s: accuracy %.3f on a loop branch", n, acc)
+		}
+	}
+}
+
+func TestHistoryPredictorsBeatBimodalOnCorrelation(t *testing.T) {
+	// A period-6 direction pattern with no overall bias a 2-bit counter
+	// can exploit, but perfectly determined by recent history.
+	pattern := []bool{true, true, false, true, false, false}
+	gen := func(i int, _ uint64) (uint64, bool) {
+		return 0x400200, pattern[i%len(pattern)]
+	}
+	scores := map[string]float64{}
+	for _, n := range Names() {
+		scores[n] = accuracy(MustNew(n), 30_000, gen)
+	}
+	for _, n := range []string{"gshare", "perceptron", "hashed-perceptron"} {
+		if scores[n] < scores["bimodal"]+0.05 {
+			t.Errorf("%s (%.3f) does not beat bimodal (%.3f) on correlated branches",
+				n, scores[n], scores["bimodal"])
+		}
+	}
+}
+
+func TestPredictorsOnRandomStreamStayNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range Names() {
+		p := MustNew(n)
+		acc := accuracy(p, 20_000, func(i int, _ uint64) (uint64, bool) {
+			return 0x400300 + uint64(rng.IntN(64))*4, rng.IntN(2) == 0
+		})
+		if acc < 0.4 || acc > 0.6 {
+			t.Errorf("%s: accuracy %.3f on random branches, want ≈0.5", n, acc)
+		}
+	}
+}
+
+func TestAliasingDoesNotCrash(t *testing.T) {
+	// Hammer each predictor with thousands of distinct PCs to exercise
+	// table index wrapping and weight saturation.
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, n := range Names() {
+		p := MustNew(n)
+		for i := 0; i < 100_000; i++ {
+			pc := rng.Uint64()
+			pred := p.Predict(pc)
+			p.Update(pc, rng.IntN(2) == 0)
+			_ = pred
+		}
+	}
+}
+
+func TestSaturate2Bounds(t *testing.T) {
+	c := int8(0)
+	for i := 0; i < 10; i++ {
+		c = saturate2(c, true)
+	}
+	if c != 1 {
+		t.Fatalf("counter saturated at %d, want 1", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = saturate2(c, false)
+	}
+	if c != -2 {
+		t.Fatalf("counter saturated at %d, want -2", c)
+	}
+}
+
+func TestPerceptronWeightsSaturate(t *testing.T) {
+	p := NewPerceptron(4, 8)
+	for i := 0; i < 100_000; i++ {
+		p.Predict(0x1234)
+		p.Update(0x1234, true)
+	}
+	for _, w := range p.weights {
+		for _, v := range w {
+			if v > 127 || v < -127 {
+				t.Fatalf("weight %d escaped saturation bounds", v)
+			}
+		}
+	}
+}

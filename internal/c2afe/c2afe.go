@@ -1,0 +1,141 @@
+// Package c2afe implements the capacity/contention-curve annotation and
+// feature extraction the paper borrows from C²AFE (Gomes & Hempstead,
+// ISPASS 2020): summarising a performance curve into knee, trend and
+// sensitivity features, plus the §V-B contention-sensitivity
+// classification (high / low / mixed at a tolerable performance loss).
+package c2afe
+
+import (
+	"fmt"
+	"math"
+)
+
+// Features summarises one contention curve (x = contention rate, y =
+// weighted IPC).
+type Features struct {
+	// Knee is the x position of maximum curvature — where performance
+	// starts to fall away — found by maximum chord distance (Kneedle).
+	Knee float64
+	// Trend is the least-squares slope of y over x (weighted IPC per
+	// unit contention rate; negative means performance degrades).
+	Trend float64
+	// Sensitivity is the maximum deviation of y from 1.0 (isolation).
+	Sensitivity float64
+}
+
+// Extract computes curve features. It panics on mismatched lengths (a
+// programming error); curves with fewer than 2 points return zero
+// features.
+func Extract(x, y []float64) Features {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("c2afe: curve length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		return Features{}
+	}
+	var f Features
+	f.Trend = slope(x, y)
+	for _, v := range y {
+		if d := math.Abs(1 - v); d > f.Sensitivity {
+			f.Sensitivity = d
+		}
+	}
+	f.Knee = knee(x, y)
+	return f
+}
+
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// knee finds the x of maximum perpendicular distance from the chord
+// joining the curve's endpoints.
+func knee(x, y []float64) float64 {
+	n := len(x)
+	x0, y0 := x[0], y[0]
+	x1, y1 := x[n-1], y[n-1]
+	dx, dy := x1-x0, y1-y0
+	norm := math.Hypot(dx, dy)
+	if norm == 0 {
+		return x0
+	}
+	best, bestD := x0, -1.0
+	for i := 1; i < n-1; i++ {
+		d := math.Abs(dy*x[i]-dx*y[i]+x1*y0-y1*x0) / norm
+		if d > bestD {
+			best, bestD = x[i], d
+		}
+	}
+	if bestD < 0 {
+		return x0
+	}
+	return best
+}
+
+// Class is the §V-B contention-sensitivity classification.
+type Class int
+
+const (
+	// LowSensitivity: no more than 25% of samples exceed the TPL
+	// (grey plot area in Fig 8).
+	LowSensitivity Class = iota
+	// MixedSensitivity: between the two extremes (white).
+	MixedSensitivity
+	// HighSensitivity: at least 75% of samples exceed the TPL (red
+	// border).
+	HighSensitivity
+)
+
+// String returns the class name used in Fig 8.
+func (c Class) String() string {
+	switch c {
+	case LowSensitivity:
+		return "low"
+	case MixedSensitivity:
+		return "mixed"
+	case HighSensitivity:
+		return "high"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// DefaultTPL is the paper's tolerable performance loss (§V-A evaluated
+// 1%, 5% and 10%; 5% "yields reasonable sensitivity classification").
+const DefaultTPL = 0.05
+
+// Classify applies the §V-B rule to a set of weighted-IPC samples:
+// a sample is "sensitive" when its IPC differs from isolation by more
+// than tpl. It returns the class and the sensitive-curve population (SCP)
+// as a fraction in [0, 1].
+func Classify(weightedIPC []float64, tpl float64) (Class, float64) {
+	if len(weightedIPC) == 0 {
+		return LowSensitivity, 0
+	}
+	sensitive := 0
+	for _, w := range weightedIPC {
+		if math.Abs(1-w) > tpl {
+			sensitive++
+		}
+	}
+	scp := float64(sensitive) / float64(len(weightedIPC))
+	switch {
+	case scp >= 0.75:
+		return HighSensitivity, scp
+	case scp <= 0.25:
+		return LowSensitivity, scp
+	default:
+		return MixedSensitivity, scp
+	}
+}

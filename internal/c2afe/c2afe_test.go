@@ -1,0 +1,127 @@
+package c2afe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractFlatCurve(t *testing.T) {
+	x := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	y := []float64{1, 1, 1, 1, 1}
+	f := Extract(x, y)
+	if f.Trend != 0 || f.Sensitivity != 0 {
+		t.Errorf("flat curve features = %+v", f)
+	}
+}
+
+func TestExtractDegradingCurve(t *testing.T) {
+	x := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	y := []float64{1, 0.98, 0.9, 0.6, 0.4}
+	f := Extract(x, y)
+	if f.Trend >= 0 {
+		t.Errorf("degrading curve has trend %v, want negative", f.Trend)
+	}
+	if math.Abs(f.Sensitivity-0.6) > 1e-12 {
+		t.Errorf("sensitivity = %v, want 0.6", f.Sensitivity)
+	}
+	// The knee sits where the curve bends hardest: 0.4 or 0.6 here.
+	if f.Knee != 0.4 && f.Knee != 0.6 {
+		t.Errorf("knee = %v, want 0.4 or 0.6", f.Knee)
+	}
+}
+
+func TestExtractShortCurves(t *testing.T) {
+	if f := Extract([]float64{0.1}, []float64{1}); f != (Features{}) {
+		t.Errorf("single-point curve features = %+v, want zero", f)
+	}
+	if f := Extract(nil, nil); f != (Features{}) {
+		t.Errorf("empty curve features = %+v, want zero", f)
+	}
+}
+
+func TestExtractMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Extract([]float64{1}, []float64{1, 2})
+}
+
+func TestSlopeKnownLine(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{5, 3, 1, -1}
+	if s := slope(x, y); math.Abs(s+2) > 1e-12 {
+		t.Errorf("slope = %v, want -2", s)
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	mk := func(sensitive, total int) []float64 {
+		out := make([]float64, total)
+		for i := range out {
+			if i < sensitive {
+				out[i] = 0.8 // 20% loss: sensitive at 5% TPL
+			} else {
+				out[i] = 1.0
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		sensitive, total int
+		want             Class
+	}{
+		{0, 20, LowSensitivity},
+		{5, 20, LowSensitivity},    // exactly 25%
+		{6, 20, MixedSensitivity},  // 30%
+		{14, 20, MixedSensitivity}, // 70%
+		{15, 20, HighSensitivity},  // exactly 75%
+		{20, 20, HighSensitivity},
+	}
+	for _, c := range cases {
+		got, scp := Classify(mk(c.sensitive, c.total), DefaultTPL)
+		if got != c.want {
+			t.Errorf("%d/%d sensitive: class %v, want %v", c.sensitive, c.total, got, c.want)
+		}
+		if want := float64(c.sensitive) / float64(c.total); math.Abs(scp-want) > 1e-12 {
+			t.Errorf("%d/%d: SCP %v, want %v", c.sensitive, c.total, scp, want)
+		}
+	}
+}
+
+func TestClassifyGainsCountAsSensitive(t *testing.T) {
+	// IPC gains beyond the TPL are still "changes in IPC".
+	ws := []float64{1.2, 1.3, 1.25, 1.4}
+	if got, _ := Classify(ws, DefaultTPL); got != HighSensitivity {
+		t.Errorf("large gains classified %v, want high", got)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if got, scp := Classify(nil, DefaultTPL); got != LowSensitivity || scp != 0 {
+		t.Errorf("empty input: (%v, %v)", got, scp)
+	}
+}
+
+func TestClassifySCPInRangeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ws := make([]float64, len(raw))
+		for i, r := range raw {
+			ws[i] = float64(r) / 128
+		}
+		_, scp := Classify(ws, DefaultTPL)
+		return scp >= 0 && scp <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if LowSensitivity.String() != "low" || MixedSensitivity.String() != "mixed" ||
+		HighSensitivity.String() != "high" {
+		t.Error("class names do not match Fig 8 labels")
+	}
+}

@@ -1,0 +1,415 @@
+// Package cache models the set-associative write-back caches and the
+// three-level hierarchy (private L1I/L1D/L2, shared LLC) the PInTE paper
+// simulates, including the ownership ("theft") accounting from CASHT that
+// PInTE builds on, the inclusive / exclusive / non-inclusive LLC modes of
+// the case study, and the injection hook the PInTE engine attaches to.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/replacement"
+)
+
+// BlockBytes is the cache block (line) size used throughout the model.
+const BlockBytes = 64
+
+// Block is one cache line's metadata.
+type Block struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// Prefetched is set on prefetch fills and cleared on the first
+	// demand hit (at which point the prefetch counts as useful).
+	Prefetched bool
+	// SysInvalid marks a slot whose contents were invalidated by the
+	// PInTE engine; the next fill into it is a "mock theft" (Fig 2b).
+	SysInvalid bool
+	// Owner is the id of the core that inserted the block.
+	Owner int8
+}
+
+// Victim describes a block displaced by a fill or invalidation.
+type Victim struct {
+	Addr  uint64 // block-aligned byte address
+	Owner int
+	Valid bool
+	Dirty bool
+	// Theft reports that the eviction displaced valid data inserted by
+	// a different core (an inter-core eviction).
+	Theft bool
+}
+
+// Config describes one cache's geometry.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency uint64
+	// Policy orders blocks for replacement; nil selects LRU.
+	Policy replacement.Policy
+	// Cores sizes the per-core statistics arrays; 0 means 1.
+	Cores int
+}
+
+// Stats aggregates one cache's counters. Per-core slices are indexed by
+// core id.
+type Stats struct {
+	Accesses   []uint64 // demand accesses (loads, stores, code fetches)
+	Hits       []uint64
+	Misses     []uint64
+	Writebacks uint64 // dirty evictions passed to the next level
+
+	// Theft accounting (shared caches).
+	TheftsCaused      []uint64 // this core evicted another core's data
+	TheftsExperienced []uint64 // this core's data was evicted by another
+	// InducedThefts counts PInTE invalidations of this core's valid
+	// data; they are also included in TheftsExperienced.
+	InducedThefts []uint64
+	// MockThefts counts demand fills that landed on a slot the PInTE
+	// engine had invalidated (the system "pretending" its data was
+	// evicted, Fig 2b).
+	MockThefts []uint64
+
+	// ReuseHist counts demand hits by replacement-stack position
+	// (index 0 = MRU end). Shared across cores; per-core reuse is
+	// tracked by ReuseHistCore.
+	ReuseHist     []uint64
+	ReuseHistCore [][]uint64
+
+	// Occupancy is the current number of valid blocks owned per core.
+	Occupancy []uint64
+
+	// Prefetch effectiveness.
+	PrefetchFills  uint64
+	PrefetchUseful uint64
+}
+
+func newStats(cores, ways int) Stats {
+	mk := func() []uint64 { return make([]uint64, cores) }
+	hc := make([][]uint64, cores)
+	for i := range hc {
+		hc[i] = make([]uint64, ways)
+	}
+	return Stats{
+		Accesses:          mk(),
+		Hits:              mk(),
+		Misses:            mk(),
+		TheftsCaused:      mk(),
+		TheftsExperienced: mk(),
+		InducedThefts:     mk(),
+		MockThefts:        mk(),
+		ReuseHist:         make([]uint64, ways),
+		ReuseHistCore:     hc,
+		Occupancy:         mk(),
+	}
+}
+
+// MissRate returns total misses / total accesses across cores.
+func (s *Stats) MissRate() float64 {
+	var a, m uint64
+	for i := range s.Accesses {
+		a += s.Accesses[i]
+		m += s.Misses[i]
+	}
+	if a == 0 {
+		return 0
+	}
+	return float64(m) / float64(a)
+}
+
+// MissRateCore returns core's miss ratio.
+func (s *Stats) MissRateCore(core int) float64 {
+	if s.Accesses[core] == 0 {
+		return 0
+	}
+	return float64(s.Misses[core]) / float64(s.Accesses[core])
+}
+
+// ContentionRate returns core's thefts experienced per demand access —
+// the paper's contention/interference rate for the LLC.
+func (s *Stats) ContentionRate(core int) float64 {
+	if s.Accesses[core] == 0 {
+		return 0
+	}
+	return float64(s.TheftsExperienced[core]) / float64(s.Accesses[core])
+}
+
+// Cache is a single set-associative write-back cache.
+type Cache struct {
+	cfg      Config
+	sets     int
+	ways     int
+	setBits  uint
+	blocks   []Block
+	policy   replacement.Policy
+	Stats    Stats
+	injector Injector          // LLC only; may be nil
+	wbSink   func(addr uint64) // receives PInTE-displaced dirty blocks
+	// partition holds per-core fill way-masks (0 = unrestricted); see
+	// SetWayPartition.
+	partition []uint64
+	// observer, when set, sees every demand access (see
+	// SetAccessObserver).
+	observer func(addr uint64, core int, hit bool)
+}
+
+// New builds a cache from cfg. It returns an error on impossible
+// geometry (non-power-of-two set count, size not divisible by ways).
+func New(cfg Config) (*Cache, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: ways and size must be positive", cfg.Name)
+	}
+	blocksTotal := cfg.SizeBytes / BlockBytes
+	if blocksTotal%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible into %d ways of %dB blocks",
+			cfg.Name, cfg.SizeBytes, cfg.Ways, BlockBytes)
+	}
+	sets := blocksTotal / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d is not a power of two", cfg.Name, sets)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = replacement.NewLRU()
+	}
+	pol.Reset(sets, cfg.Ways)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		ways:    cfg.Ways,
+		setBits: uint(bits.TrailingZeros(uint(sets))),
+		blocks:  make([]Block, sets*cfg.Ways),
+		policy:  pol,
+		Stats:   newStats(cfg.Cores, cfg.Ways),
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// HitLatency returns the configured hit latency in cycles.
+func (c *Cache) HitLatency() uint64 { return c.cfg.HitLatency }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Policy returns the replacement policy instance.
+func (c *Cache) Policy() replacement.Policy { return c.policy }
+
+// SetInjector attaches a PInTE injector; pass nil to detach.
+func (c *Cache) SetInjector(inj Injector) { c.injector = inj }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr / BlockBytes
+	return int(blk & uint64(c.sets-1)), blk >> c.setBits
+}
+
+func (c *Cache) findWay(set int, tag uint64) int {
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		b := &c.blocks[base+w]
+		if b.Valid && b.Tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Lookup performs a demand access by core. On a hit the block's
+// replacement state is updated, reuse position recorded, dirty bit set
+// for writes, and the PInTE injector (if attached) runs afterwards.
+// Misses also run the injector: the paper's flow triggers on every LLC
+// access.
+func (c *Cache) Lookup(addr uint64, core int, isWrite bool) bool {
+	set, tag := c.index(addr)
+	c.Stats.Accesses[core]++
+	w := c.findWay(set, tag)
+	hit := w >= 0
+	if hit {
+		b := &c.blocks[set*c.ways+w]
+		pos := c.policy.HitPosition(set, w)
+		c.Stats.ReuseHist[pos]++
+		c.Stats.ReuseHistCore[core][pos]++
+		c.Stats.Hits[core]++
+		if b.Prefetched {
+			b.Prefetched = false
+			c.Stats.PrefetchUseful++
+		}
+		if isWrite {
+			b.Dirty = true
+		}
+		c.policy.OnHit(set, w)
+	} else {
+		c.Stats.Misses[core]++
+	}
+	if c.observer != nil {
+		c.observer(addr, core, hit)
+	}
+	if c.injector != nil {
+		c.injector.OnLLCAccess(c, set, core)
+	}
+	return hit
+}
+
+// Probe reports whether addr is present without disturbing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	return c.findWay(set, tag) >= 0
+}
+
+// Fill inserts addr for core, evicting if necessary, and returns the
+// victim (Valid=false when an empty or system-invalidated way absorbed
+// the fill). dirty seeds the block's dirty bit (writeback allocations);
+// prefetched marks prefetch fills.
+func (c *Cache) Fill(addr uint64, core int, dirty, prefetched bool) Victim {
+	set, tag := c.index(addr)
+	if w := c.findWay(set, tag); w >= 0 {
+		// Already present (races between prefetch and demand paths, or
+		// a writeback allocating over an existing copy): update flags.
+		b := &c.blocks[set*c.ways+w]
+		if dirty {
+			b.Dirty = true
+		}
+		return Victim{}
+	}
+	base := set * c.ways
+	mask := c.fillMask(core)
+	full := uint64(1)<<uint(c.ways) - 1
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if mask&(1<<uint(w)) != 0 && !c.blocks[base+w].Valid {
+			way = w
+			break
+		}
+	}
+	var victim Victim
+	if way < 0 {
+		if mask == full {
+			way = c.policy.Victim(set)
+		} else {
+			way = c.victimWithin(set, mask)
+		}
+		victim = c.evict(set, way, core)
+	}
+	b := &c.blocks[base+way]
+	if b.SysInvalid {
+		// The PInTE engine hollowed this slot out; inserting on it is
+		// the "mock theft" of Fig 2b: the workload behaves as if an
+		// adversary's block had been here.
+		c.Stats.MockThefts[core]++
+		b.SysInvalid = false
+	}
+	*b = Block{Tag: tag, Valid: true, Dirty: dirty, Prefetched: prefetched, Owner: int8(core)}
+	c.Stats.Occupancy[core]++
+	if prefetched {
+		c.Stats.PrefetchFills++
+	}
+	c.policy.OnFill(set, way)
+	return victim
+}
+
+// evict removes the valid block at (set, way) on behalf of requester and
+// returns its description, recording theft accounting.
+func (c *Cache) evict(set, way, requester int) Victim {
+	b := &c.blocks[set*c.ways+way]
+	v := Victim{
+		Addr:  c.blockAddr(set, b.Tag),
+		Owner: int(b.Owner),
+		Valid: true,
+		Dirty: b.Dirty,
+	}
+	if int(b.Owner) != requester {
+		v.Theft = true
+		c.Stats.TheftsCaused[requester]++
+		c.Stats.TheftsExperienced[b.Owner]++
+	}
+	if b.Dirty {
+		c.Stats.Writebacks++
+	}
+	c.Stats.Occupancy[b.Owner]--
+	b.Valid = false
+	b.Dirty = false
+	c.policy.OnInvalidate(set, way)
+	return v
+}
+
+func (c *Cache) blockAddr(set int, tag uint64) uint64 {
+	return (tag<<c.setBits | uint64(set)) * BlockBytes
+}
+
+// InvalidateAddr removes addr if present (back-invalidation for inclusive
+// hierarchies) and reports whether it was found and whether it was dirty.
+func (c *Cache) InvalidateAddr(addr uint64) (found, dirty bool) {
+	set, tag := c.index(addr)
+	w := c.findWay(set, tag)
+	if w < 0 {
+		return false, false
+	}
+	b := &c.blocks[set*c.ways+w]
+	dirty = b.Dirty
+	c.Stats.Occupancy[b.Owner]--
+	b.Valid = false
+	b.Dirty = false
+	c.policy.OnInvalidate(set, w)
+	return true, dirty
+}
+
+// Extract removes addr for an exclusive-hierarchy upward move: the block
+// leaves this cache without being treated as an eviction (no theft, no
+// writeback; the dirty bit travels with the returned value).
+func (c *Cache) Extract(addr uint64) (dirty, found bool) {
+	set, tag := c.index(addr)
+	w := c.findWay(set, tag)
+	if w < 0 {
+		return false, false
+	}
+	b := &c.blocks[set*c.ways+w]
+	dirty = b.Dirty
+	c.Stats.Occupancy[b.Owner]--
+	b.Valid = false
+	b.Dirty = false
+	c.policy.OnInvalidate(set, w)
+	return dirty, true
+}
+
+// OccupiedBlocks returns the total number of valid blocks.
+func (c *Cache) OccupiedBlocks() uint64 {
+	var n uint64
+	for i := range c.Stats.Occupancy {
+		n += c.Stats.Occupancy[i]
+	}
+	return n
+}
+
+// CapacityBlocks returns the total number of block frames.
+func (c *Cache) CapacityBlocks() uint64 { return uint64(c.sets * c.ways) }
+
+// ResetStats zeroes all statistics counters while preserving cache
+// contents and replacement state, then reconstructs the occupancy counts
+// from the live blocks. Simulation drivers call it at the end of warm-up.
+func (c *Cache) ResetStats() {
+	c.Stats = newStats(c.cfg.Cores, c.ways)
+	for i := range c.blocks {
+		if c.blocks[i].Valid {
+			c.Stats.Occupancy[c.blocks[i].Owner]++
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// flatMemory is a fixed-latency Memory for hierarchy tests.
+type flatMemory struct {
+	latency uint64
+	reads   int
+	writes  int
+}
+
+func (m *flatMemory) Access(now, addr uint64, isWrite bool) uint64 {
+	if isWrite {
+		m.writes++
+	} else {
+		m.reads++
+	}
+	return m.latency
+}
+
+func tinyHierCfg(cores int, incl Inclusion) HierarchyConfig {
+	return HierarchyConfig{
+		Cores:     cores,
+		L1I:       LevelConfig{SizeBytes: 1 << 10, Ways: 2, HitLatency: 4},
+		L1D:       LevelConfig{SizeBytes: 1 << 10, Ways: 2, HitLatency: 4},
+		L2:        LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitLatency: 10},
+		LLC:       LevelConfig{SizeBytes: 16 << 10, Ways: 8, HitLatency: 30},
+		Inclusion: incl,
+	}
+}
+
+func TestHierarchyLatencyLadder(t *testing.T) {
+	mem := &flatMemory{latency: 160}
+	h := MustNewHierarchy(tinyHierCfg(1, NonInclusive), mem)
+	addr := uint64(0x100000)
+
+	// Cold miss: L1 + L2 + LLC + DRAM.
+	lat := h.Access(0, 0x40, addr, Load, 0)
+	if want := uint64(4 + 10 + 30 + 160); lat != want {
+		t.Fatalf("cold miss latency = %d, want %d", lat, want)
+	}
+	// Now resident everywhere: L1 hit.
+	if lat := h.Access(0, 0x40, addr, Load, 10); lat != 4 {
+		t.Fatalf("L1 hit latency = %d, want 4", lat)
+	}
+	// Evict from L1 by filling its set, then re-access: L2 hit.
+	setStride := uint64((1 << 10) / 2) // l1 sets × block = 512
+	for i := 1; i <= 2; i++ {
+		h.Access(0, 0x40, addr+uint64(i)*setStride, Load, 20)
+	}
+	if lat := h.Access(0, 0x40, addr, Load, 30); lat != 14 {
+		t.Fatalf("L2 hit latency = %d, want 14", lat)
+	}
+}
+
+func TestHierarchyWritebackReachesMemory(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	h := MustNewHierarchy(tinyHierCfg(1, NonInclusive), mem)
+	// Write a large footprint so dirty lines cascade out of the LLC.
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 20_000; i++ {
+		addr := uint64(rng.IntN(4096)) * BlockBytes
+		h.Access(0, 0x40, addr, StoreAccess, uint64(i))
+	}
+	if mem.writes == 0 {
+		t.Fatal("no dirty LLC evictions reached memory")
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	cfg := tinyHierCfg(1, Inclusive)
+	// LLC as small as L2 so LLC evictions hit blocks resident above.
+	cfg.LLC = LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitLatency: 30}
+	h := MustNewHierarchy(cfg, mem)
+
+	probeResident := func() (resident int) {
+		for set := 0; set < h.L2(0).Sets(); set++ {
+			for way := 0; way < h.L2(0).Ways(); way++ {
+				if h.L2(0).BlockValid(set, way) {
+					resident++
+				}
+			}
+		}
+		return resident
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 30_000; i++ {
+		addr := uint64(rng.IntN(1024)) * BlockBytes
+		h.Access(0, 0x40, addr, Load, uint64(i))
+		if i%1000 == 0 {
+			// Inclusion invariant: every valid L2 block is in the LLC.
+			for set := 0; set < h.L2(0).Sets(); set++ {
+				for way := 0; way < h.L2(0).Ways(); way++ {
+					if !h.L2(0).BlockValid(set, way) {
+						continue
+					}
+				}
+			}
+		}
+	}
+	_ = probeResident
+	// Directly verify the invariant block-by-block via probing a
+	// recently evicted LLC address: after the run, sample addresses
+	// resident in L2 must be resident in LLC.
+	violations := 0
+	for a := uint64(0); a < 1024*BlockBytes; a += BlockBytes {
+		if h.L2(0).Probe(a) && !h.LLC().Probe(a) {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d blocks in L2 but not in inclusive LLC", violations)
+	}
+}
+
+func TestExclusiveLLCDisjointFromL2(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	h := MustNewHierarchy(tinyHierCfg(1, Exclusive), mem)
+	rng := rand.New(rand.NewPCG(12, 12))
+	for i := 0; i < 30_000; i++ {
+		addr := uint64(rng.IntN(1024)) * BlockBytes
+		h.Access(0, 0x40, addr, Load, uint64(i))
+	}
+	overlaps := 0
+	for a := uint64(0); a < 1024*BlockBytes; a += BlockBytes {
+		if h.L2(0).Probe(a) && h.LLC().Probe(a) {
+			overlaps++
+		}
+	}
+	if overlaps > 0 {
+		t.Fatalf("%d blocks resident in both L2 and exclusive LLC", overlaps)
+	}
+	// The exclusive LLC must still hold something (L2 victims).
+	if h.LLC().OccupiedBlocks() == 0 {
+		t.Fatal("exclusive LLC never filled by L2 victims")
+	}
+}
+
+func TestExclusiveDirtyDataSurvivesRoundTrip(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	h := MustNewHierarchy(tinyHierCfg(1, Exclusive), mem)
+	dirty := uint64(0x200000)
+	h.Access(0, 0x40, dirty, StoreAccess, 0)
+	// Push the dirty block out of L1 and L2 into the LLC.
+	rng := rand.New(rand.NewPCG(14, 14))
+	for i := 0; i < 5000; i++ {
+		h.Access(0, 0x40, uint64(rng.IntN(256))*BlockBytes, Load, uint64(i))
+	}
+	if !h.LLC().Probe(dirty) {
+		t.Skip("dirty block already written back; pattern did not route it via LLC")
+	}
+	// Re-access: block moves back up; eventually its eviction must
+	// write to memory exactly once overall (dirty bit preserved).
+	wb := mem.writes
+	h.Access(0, 0x40, dirty, Load, 6000)
+	if h.LLC().Probe(dirty) {
+		t.Fatal("exclusive LLC kept a copy after promoting the block")
+	}
+	for i := 0; i < 5000; i++ {
+		h.Access(0, 0x40, uint64(rng.IntN(256))*BlockBytes+1<<20, Load, uint64(7000+i))
+	}
+	if mem.writes == wb {
+		t.Fatal("dirty block lost: no memory write after final eviction")
+	}
+}
+
+func TestAMATAccumulatesOnlyDataAccesses(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	h := MustNewHierarchy(tinyHierCfg(1, NonInclusive), mem)
+	h.Access(0, 0x40, 0x40, Ifetch, 0)
+	if h.Stats.DemandDataAccesses[0] != 0 {
+		t.Fatal("instruction fetch counted as data access")
+	}
+	h.Access(0, 0x40, 0x300000, Load, 0)
+	if h.Stats.DemandDataAccesses[0] != 1 {
+		t.Fatal("load not counted")
+	}
+	if amat := h.AMAT(0); amat != 144 {
+		t.Fatalf("AMAT = %v, want 144 (cold miss: 4+10+30+100)", amat)
+	}
+}
+
+func TestPrefetchNextLineFillsAhead(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	cfg := tinyHierCfg(1, NonInclusive)
+	cfg.Prefetch = "0N0" // L1D next-line only
+	h := MustNewHierarchy(cfg, mem)
+	addr := uint64(0x400000)
+	h.Access(0, 0x40, addr, Load, 0) // miss → prefetch addr+64
+	if h.Stats.PrefetchIssued == 0 {
+		t.Fatal("next-line prefetcher idle on miss")
+	}
+	if !h.L1D(0).Probe(addr + 64) {
+		t.Fatal("next block not prefetched into L1D")
+	}
+	// The prefetched access must now be an L1 hit.
+	if lat := h.Access(0, 0x44, addr+64, Load, 10); lat != 4 {
+		t.Fatalf("prefetched block latency = %d, want 4", lat)
+	}
+}
+
+func TestPrefetchConfigsRun(t *testing.T) {
+	for _, code := range []string{"000", "NN0", "NNN", "NNI"} {
+		mem := &flatMemory{latency: 100}
+		cfg := tinyHierCfg(1, NonInclusive)
+		cfg.Prefetch = code
+		h := MustNewHierarchy(cfg, mem)
+		for i := 0; i < 5000; i++ {
+			h.Access(0, 0x40, uint64(i)*BlockBytes, Load, uint64(i))
+		}
+		if code != "000" && h.Stats.PrefetchIssued == 0 {
+			t.Errorf("%s: no prefetches issued on a streaming pattern", code)
+		}
+		if code == "000" && h.Stats.PrefetchIssued != 0 {
+			t.Errorf("000: issued %d prefetches", h.Stats.PrefetchIssued)
+		}
+	}
+}
+
+func TestSharedLLCTheftsBetweenCores(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	h := MustNewHierarchy(tinyHierCfg(2, NonInclusive), mem)
+	rng := rand.New(rand.NewPCG(16, 16))
+	// Two cores with disjoint address spaces thrash the shared LLC.
+	for i := 0; i < 40_000; i++ {
+		core := i % 2
+		base := uint64(core) << 30
+		addr := base + uint64(rng.IntN(1024))*BlockBytes
+		h.Access(core, 0x40, addr, Load, uint64(i))
+	}
+	llc := h.LLC().Stats
+	if llc.TheftsCaused[0]+llc.TheftsCaused[1] == 0 {
+		t.Fatal("no thefts recorded between competing cores")
+	}
+	if llc.TheftsCaused[0]+llc.TheftsCaused[1] !=
+		llc.TheftsExperienced[0]+llc.TheftsExperienced[1] {
+		t.Fatal("theft conservation violated in shared LLC")
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	mem := &flatMemory{latency: 100}
+	h := MustNewHierarchy(tinyHierCfg(2, NonInclusive), mem)
+	for i := 0; i < 1000; i++ {
+		h.Access(i%2, 0x40, uint64(i)*BlockBytes, Load, uint64(i))
+	}
+	h.ResetStats()
+	if h.Stats.DemandDataAccesses[0] != 0 || h.LLC().Stats.Accesses[0] != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if h.LLC().OccupiedBlocks() == 0 {
+		t.Fatal("cache contents lost on stats reset")
+	}
+}

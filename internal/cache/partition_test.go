@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSetWayPartitionValidation(t *testing.T) {
+	c := smallCache(t, 2)
+	if err := c.SetWayPartition(0, 1<<5); err == nil {
+		t.Error("mask beyond associativity accepted")
+	}
+	if err := c.SetWayPartition(5, 0b0011); err == nil {
+		t.Error("core out of range accepted")
+	}
+	if err := c.SetWayPartition(0, 0b0011); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WayPartition(0); got != 0b0011 {
+		t.Fatalf("mask = %#b", got)
+	}
+	if got := c.WayPartition(1); got != 0 {
+		t.Fatalf("unpartitioned core mask = %#b, want 0", got)
+	}
+}
+
+func TestPartitionedFillsStayInMask(t *testing.T) {
+	c := smallCache(t, 2) // 8 sets × 4 ways
+	if err := c.SetWayPartition(0, 0b0011); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 20_000; i++ {
+		addr := uint64(rng.IntN(512)) * BlockBytes
+		if !c.Lookup(addr, 0, false) {
+			c.Fill(addr, 0, false, false)
+		}
+	}
+	// Core 0 may only occupy ways 0 and 1 of each set: at most
+	// 2 blocks × 8 sets.
+	if occ := c.Stats.Occupancy[0]; occ > 16 {
+		t.Fatalf("partitioned core occupies %d blocks, cap is 16", occ)
+	}
+	for set := 0; set < c.Sets(); set++ {
+		for w := 2; w < 4; w++ {
+			if c.BlockValid(set, w) && c.BlockOwner(set, w) == 0 {
+				t.Fatalf("core 0 block found outside its partition: set %d way %d", set, w)
+			}
+		}
+	}
+}
+
+func TestPartitionIsolatesCores(t *testing.T) {
+	c := smallCache(t, 2)
+	if err := c.SetWayPartition(0, 0b0011); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWayPartition(1, 0b1100); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 40_000; i++ {
+		core := i % 2
+		addr := uint64(core)<<30 + uint64(rng.IntN(512))*BlockBytes
+		if !c.Lookup(addr, core, false) {
+			c.Fill(addr, core, false, false)
+		}
+	}
+	// Disjoint partitions: no inter-core evictions at all.
+	if c.Stats.TheftsCaused[0]+c.Stats.TheftsCaused[1] != 0 {
+		t.Fatalf("thefts across disjoint partitions: %v", c.Stats.TheftsCaused)
+	}
+}
+
+func TestPartitionVictimIsStackDeepest(t *testing.T) {
+	c := smallCache(t, 1)
+	if err := c.SetWayPartition(0, 0b0111); err != nil {
+		t.Fatal(err)
+	}
+	setStride := uint64(8 * BlockBytes)
+	// Fill ways 0..2 of set 0 (partition size 3).
+	for i := 0; i < 3; i++ {
+		c.Fill(uint64(i)*setStride, 0, false, false)
+	}
+	// Touch block 0 so block 1 becomes the partition's LRU.
+	c.Lookup(0, 0, false)
+	v := c.Fill(3*setStride, 0, false, false)
+	if !v.Valid || v.Addr != setStride {
+		t.Fatalf("victim = %+v, want the partition's LRU block %#x", v, setStride)
+	}
+}
+
+func TestPartitionHitsOutsideMaskStillHit(t *testing.T) {
+	c := smallCache(t, 2)
+	// Core 1 fills a block in way space core 0 cannot allocate into.
+	addr := uint64(0x7000)
+	c.Fill(addr, 1, false, false)
+	if err := c.SetWayPartition(0, 0b0001); err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 can still hit it (hits are unrestricted, as with RDT).
+	if !c.Lookup(addr, 0, false) {
+		t.Fatal("partitioned core missed a resident block")
+	}
+}
+
+func TestPartitionZeroMaskUnrestricts(t *testing.T) {
+	c := smallCache(t, 1)
+	if err := c.SetWayPartition(0, 0b0001); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWayPartition(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	setStride := uint64(8 * BlockBytes)
+	for i := 0; i < 4; i++ {
+		c.Fill(uint64(i)*setStride, 0, false, false)
+	}
+	if occ := c.Stats.Occupancy[0]; occ != 4 {
+		t.Fatalf("occupancy %d after unrestricting, want 4", occ)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+type countMem struct {
+	lat      uint64
+	accesses int
+}
+
+func (m *countMem) Access(now, addr uint64, isWrite bool) uint64 {
+	m.accesses++
+	return m.lat
+}
+
+func TestDRAMContentionValidate(t *testing.T) {
+	mem := &countMem{lat: 100}
+	bad := []DRAMContentionParams{
+		{Probability: -0.1, PenaltyCycles: 10},
+		{Probability: 1.5, PenaltyCycles: 10},
+		{Probability: 0.5, PenaltyCycles: 0},
+	}
+	for _, p := range bad {
+		if _, err := NewDRAMContention(p, mem); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := NewDRAMContention(DRAMContentionParams{Probability: 0.5, PenaltyCycles: 10}, nil); err == nil {
+		t.Error("nil memory accepted")
+	}
+}
+
+func TestDRAMContentionZeroProbabilityIsTransparent(t *testing.T) {
+	mem := &countMem{lat: 100}
+	d, err := NewDRAMContention(DRAMContentionParams{Probability: 0, Seed: 1}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if lat := d.Access(uint64(i), uint64(i)*64, false); lat != 100 {
+			t.Fatalf("latency %d inflated at probability 0", lat)
+		}
+	}
+	if d.Stats.Injections != 0 {
+		t.Fatal("injections at probability 0")
+	}
+}
+
+func TestDRAMContentionInflatesAtRate(t *testing.T) {
+	mem := &countMem{lat: 100}
+	d, err := NewDRAMContention(DRAMContentionParams{
+		Probability: 0.5, PenaltyCycles: 40, Seed: 2,
+	}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20_000
+	var total uint64
+	for i := 0; i < n; i++ {
+		total += d.Access(uint64(i), uint64(i)*64, false)
+	}
+	rate := float64(d.Stats.Injections) / float64(n)
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("injection rate %v, want ≈0.5", rate)
+	}
+	if d.Stats.AddedCycles == 0 || total != uint64(n)*100+d.Stats.AddedCycles {
+		t.Fatalf("latency accounting inconsistent: total %d, added %d", total, d.Stats.AddedCycles)
+	}
+	// Penalties bounded by PenaltyCycles per injection.
+	if d.Stats.AddedCycles > d.Stats.Injections*40 {
+		t.Fatal("penalty exceeded configured maximum")
+	}
+	if mem.accesses != n {
+		t.Fatal("wrapped memory not called for every access")
+	}
+}
+
+func TestDRAMContentionDeterministic(t *testing.T) {
+	run := func() uint64 {
+		mem := &countMem{lat: 100}
+		d, _ := NewDRAMContention(DRAMContentionParams{
+			Probability: 0.3, PenaltyCycles: 20, Seed: 9,
+		}, mem)
+		var total uint64
+		for i := 0; i < 5000; i++ {
+			total += d.Access(uint64(i), uint64(i)*64, false)
+		}
+		return total
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different injected latencies")
+	}
+}
+
+func TestTickerSweepsSets(t *testing.T) {
+	llc := demoCache(t, 8, 4, "lru")
+	// Populate every set.
+	for i := 0; i < 64; i++ {
+		addr := uint64(i) * cache.BlockBytes
+		if !llc.Lookup(addr, 0, false) {
+			llc.Fill(addr, 0, false, false)
+		}
+	}
+	eng := MustNewEngine(Params{PInduce: 1, Seed: 3})
+	tk, err := NewTicker(eng, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := map[int]bool{}
+	eng.Trace = func(ev Event) {
+		if ev.State == StateInvalidate {
+			visited[ev.Set] = true
+		}
+	}
+	for i := 0; i < 64; i++ {
+		tk.Tick()
+	}
+	if tk.Ticks != 64 {
+		t.Fatalf("ticks = %d", tk.Ticks)
+	}
+	if len(visited) < 6 {
+		t.Fatalf("round-robin sweep touched only %d of 8 sets", len(visited))
+	}
+	if llc.Stats.InducedThefts[0] == 0 {
+		t.Fatal("ticker induced no thefts")
+	}
+}
+
+func TestTickerValidation(t *testing.T) {
+	llc := demoCache(t, 2, 2, "lru")
+	if _, err := NewTicker(nil, llc); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewTicker(MustNewEngine(Params{PInduce: 1}), nil); err == nil {
+		t.Error("nil LLC accepted")
+	}
+}
+
+func TestTickerSkipsEmptyCache(t *testing.T) {
+	// An empty cache holds nothing to steal: the ticker must not burn
+	// the engine's eviction budget on vacant frames.
+	llc := demoCache(t, 4, 4, "lru")
+	eng := MustNewEngine(Params{PInduce: 1, Seed: 5})
+	tk, err := NewTicker(eng, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tk.Tick()
+	}
+	if tk.Ticks != 100 {
+		t.Fatalf("ticks = %d", tk.Ticks)
+	}
+	if eng.Stats.Triggers != 0 || eng.Stats.Invalidations != 0 {
+		t.Fatalf("engine acted on an empty cache: %+v", eng.Stats)
+	}
+}
+
+func TestTickerInducesTheftsWithoutDemandAccesses(t *testing.T) {
+	// Populate a corner of the cache, then stop all demand traffic;
+	// the scheduled flow must still find and steal the resident data —
+	// the §IV-E2b remedy for core-bound workloads.
+	llc := demoCache(t, 16, 4, "lru")
+	for i := 0; i < 8; i++ { // two sets' worth of blocks
+		addr := uint64(i%2)*cache.BlockBytes + uint64(i/2)*16*4*cache.BlockBytes
+		if !llc.Lookup(addr, 0, false) {
+			llc.Fill(addr, 0, false, false)
+		}
+	}
+	eng := MustNewEngine(Params{PInduce: 1, Seed: 6})
+	tk, err := NewTicker(eng, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tk.Tick()
+	}
+	if llc.Stats.InducedThefts[0] == 0 {
+		t.Fatal("scheduled injection never reached the resident blocks")
+	}
+}

@@ -1,0 +1,208 @@
+// Package cpu provides the interval core timing model that converts an
+// instruction trace plus cache-hierarchy latencies into cycles, and the
+// multi-core interleaver used for 2nd-Trace (multi-programmed) runs.
+//
+// The model is deliberately first-order — PInTE's metrics (IPC deltas,
+// miss rates, AMAT, reuse) are dominated by miss counts and latencies —
+// which is what makes the paper's all-pairs 2nd-Trace baseline tractable
+// to reproduce: issue-width throughput, branch mispredict penalties,
+// serialised dependent loads, and bounded overlap (MLP) for independent
+// misses.
+package cpu
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Config parameterises one core's timing model.
+type Config struct {
+	// Width is the issue width in instructions per cycle; 0 means 4.
+	Width int
+	// MispredictPenalty is the pipeline refill cost in cycles; 0 means 15.
+	MispredictPenalty uint64
+	// MLP divides the stall of independent (non-dependent) load misses,
+	// modelling overlap among outstanding misses; 0 means 2.
+	MLP int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	if c.MispredictPenalty == 0 {
+		c.MispredictPenalty = 15
+	}
+	if c.MLP == 0 {
+		c.MLP = 2
+	}
+	return c
+}
+
+// Stats holds one core's execution counters.
+type Stats struct {
+	Branches    uint64
+	Mispredicts uint64
+	Loads       uint64
+	Stores      uint64
+	LoadStall   uint64 // cycles charged to load misses
+}
+
+// BranchAccuracy returns the fraction of branches predicted correctly.
+func (s *Stats) BranchAccuracy() float64 {
+	if s.Branches == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Branches)
+}
+
+// Core executes a trace against a hierarchy.
+type Core struct {
+	ID int
+
+	cfg    Config
+	reader trace.Reader
+	hier   *cache.Hierarchy
+	bp     branch.Predictor
+
+	Cycles uint64
+	Instrs uint64
+	Stats  Stats
+
+	widthAcc int
+	l1dLat   uint64
+	done     bool
+	err      error
+	rec      trace.Record
+}
+
+// NewCore builds a core. bp may be nil for a perfect branch predictor.
+func NewCore(id int, cfg Config, r trace.Reader, h *cache.Hierarchy, bp branch.Predictor) *Core {
+	return &Core{
+		ID:     id,
+		cfg:    cfg.withDefaults(),
+		reader: r,
+		hier:   h,
+		bp:     bp,
+		l1dLat: h.L1D(id).HitLatency(),
+	}
+}
+
+// Done reports whether the core's trace is exhausted.
+func (c *Core) Done() bool { return c.done }
+
+// Err returns the first non-EOF reader error, if any.
+func (c *Core) Err() error { return c.err }
+
+// IPC returns instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / float64(c.Cycles)
+}
+
+// Rewind restarts the core's trace (used by the 2nd-Trace driver to
+// restart a faster co-runner, as ChampSim does). The core's cycle and
+// instruction counts keep accumulating.
+func (c *Core) Rewind() bool {
+	rw, ok := c.reader.(trace.Rewinder)
+	if !ok {
+		return false
+	}
+	rw.Rewind()
+	c.done = false
+	return true
+}
+
+// Step executes up to n instructions and returns how many ran. It stops
+// early when the trace ends (Done becomes true) or a read error occurs.
+func (c *Core) Step(n uint64) uint64 {
+	if c.done || c.err != nil {
+		return 0
+	}
+	var executed uint64
+	for ; executed < n; executed++ {
+		if err := c.reader.Next(&c.rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				c.done = true
+			} else {
+				c.err = err
+			}
+			break
+		}
+		c.retire(&c.rec)
+	}
+	return executed
+}
+
+func (c *Core) retire(rec *trace.Record) {
+	// Front-end: instruction fetch. A miss past the L1I stalls the
+	// front end for the excess latency.
+	il := c.hier.Access(c.ID, rec.PC, rec.PC, cache.Ifetch, c.Cycles)
+	if l1i := c.hier.L1I(c.ID).HitLatency(); il > l1i {
+		c.Cycles += il - l1i
+	}
+
+	// Issue-width throughput: one cycle per Width instructions.
+	c.widthAcc++
+	if c.widthAcc >= c.cfg.Width {
+		c.widthAcc = 0
+		c.Cycles++
+	}
+
+	if rec.IsBranch {
+		c.Stats.Branches++
+		if c.bp != nil {
+			pred := c.bp.Predict(rec.PC)
+			c.bp.Update(rec.PC, rec.Taken)
+			if pred != rec.Taken {
+				c.Stats.Mispredicts++
+				c.Cycles += c.cfg.MispredictPenalty
+			}
+		}
+	}
+
+	if rec.Load0 != 0 {
+		c.Stats.Loads++
+		c.loadStall(rec.PC, rec.Load0, rec.Dependent)
+	}
+	if rec.Load1 != 0 {
+		c.Stats.Loads++
+		c.loadStall(rec.PC, rec.Load1, false)
+	}
+	if rec.Store != 0 {
+		c.Stats.Stores++
+		// Stores retire through the write buffer: cache state updates
+		// but no retirement stall is charged.
+		c.hier.Access(c.ID, rec.PC, rec.Store, cache.StoreAccess, c.Cycles)
+	}
+
+	c.Instrs++
+}
+
+func (c *Core) loadStall(pc, addr uint64, dependent bool) {
+	lat := c.hier.Access(c.ID, pc, addr, cache.Load, c.Cycles)
+	if lat <= c.l1dLat {
+		return
+	}
+	stall := lat - c.l1dLat
+	if !dependent {
+		stall /= uint64(c.cfg.MLP)
+	}
+	c.Cycles += stall
+	c.Stats.LoadStall += stall
+}
+
+// ResetStats zeroes the core's event counters while leaving its trace
+// position, predictor state and — critically — its clock intact: cycle
+// and instruction counts are physical time shared with the DRAM model's
+// bank timestamps, so region-of-interest metrics are computed as deltas
+// rather than by resetting them.
+func (c *Core) ResetStats() {
+	c.Stats = Stats{}
+}

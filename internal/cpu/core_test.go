@@ -1,0 +1,288 @@
+package cpu
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// scriptReader replays a fixed record slice; implements Reader+Rewinder.
+type scriptReader struct {
+	recs []trace.Record
+	pos  int
+}
+
+func (s *scriptReader) Next(rec *trace.Record) error {
+	if s.pos >= len(s.recs) {
+		return io.EOF
+	}
+	*rec = s.recs[s.pos]
+	s.pos++
+	return nil
+}
+
+func (s *scriptReader) Rewind() { s.pos = 0 }
+
+type fixedMem struct{ lat uint64 }
+
+func (m fixedMem) Access(now, addr uint64, isWrite bool) uint64 { return m.lat }
+
+func testHier(cores int) *cache.Hierarchy {
+	cfg := cache.HierarchyConfig{
+		Cores: cores,
+		L1I:   cache.LevelConfig{SizeBytes: 1 << 10, Ways: 2, HitLatency: 4},
+		L1D:   cache.LevelConfig{SizeBytes: 1 << 10, Ways: 2, HitLatency: 4},
+		L2:    cache.LevelConfig{SizeBytes: 4 << 10, Ways: 4, HitLatency: 10},
+		LLC:   cache.LevelConfig{SizeBytes: 16 << 10, Ways: 8, HitLatency: 30},
+	}
+	return cache.MustNewHierarchy(cfg, fixedMem{lat: 156})
+}
+
+func aluRecs(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x1000 + uint64(i%64)*4}
+	}
+	return recs
+}
+
+func TestCoreWidthThroughput(t *testing.T) {
+	// 4000 ALU instructions at width 4 ≈ 1000 cycles (plus a few L1I
+	// cold misses).
+	c := NewCore(0, Config{Width: 4}, &scriptReader{recs: aluRecs(4000)}, testHier(1), nil)
+	ran := c.Step(1_000_000)
+	if ran != 4000 || !c.Done() {
+		t.Fatalf("ran %d, done %v", ran, c.Done())
+	}
+	// 1000 cycles of width-limited issue plus 4 cold L1I block misses
+	// at full memory latency (~196 cycles of front-end stall each).
+	if c.Cycles < 1000 || c.Cycles > 2000 {
+		t.Fatalf("cycles = %d, want ≈1800 for a 4-wide ALU stream with cold code", c.Cycles)
+	}
+	if ipc := c.IPC(); ipc < 2.0 || ipc > 4.0 {
+		t.Fatalf("IPC = %v, want 2-4 wide", ipc)
+	}
+}
+
+func TestCoreBranchMispredictPenalty(t *testing.T) {
+	// Alternating taken/not-taken on one PC defeats a fresh bimodal
+	// predictor roughly half the time.
+	recs := make([]trace.Record, 2000)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC: 0x2000, IsBranch: true, Taken: i%2 == 0, Target: 0x2000,
+		}
+	}
+	run := func(bp branch.Predictor) uint64 {
+		c := NewCore(0, Config{Width: 4, MispredictPenalty: 15},
+			&scriptReader{recs: recs}, testHier(1), bp)
+		c.Step(1_000_000)
+		return c.Cycles
+	}
+	with := run(branch.MustNew("bimodal"))
+	without := run(nil) // perfect prediction
+	if with <= without {
+		t.Fatalf("mispredictions cost nothing: %d vs %d", with, without)
+	}
+	if with < without+1000*10 {
+		t.Fatalf("penalty too small for ~1000 mispredicts: %d vs %d", with, without)
+	}
+}
+
+func TestCoreDependentLoadSerialises(t *testing.T) {
+	mkRecs := func(dep bool) []trace.Record {
+		recs := make([]trace.Record, 500)
+		for i := range recs {
+			recs[i] = trace.Record{
+				PC:        0x3000 + uint64(i%8)*4,
+				Load0:     1 << 20 << uint(i%20), // all cold misses
+				Dependent: dep,
+			}
+		}
+		return recs
+	}
+	run := func(dep bool) uint64 {
+		c := NewCore(0, Config{Width: 4, MLP: 4}, &scriptReader{recs: mkRecs(dep)}, testHier(1), nil)
+		c.Step(1_000_000)
+		return c.Cycles
+	}
+	dep := run(true)
+	indep := run(false)
+	if dep <= indep {
+		t.Fatalf("dependent loads (%d cycles) not slower than independent (%d)", dep, indep)
+	}
+}
+
+func TestCoreStoresDoNotStallRetirement(t *testing.T) {
+	recs := make([]trace.Record, 1000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x4000, Store: uint64(0x100000 + i*4096)}
+	}
+	c := NewCore(0, Config{Width: 4}, &scriptReader{recs: recs}, testHier(1), nil)
+	c.Step(1_000_000)
+	// Cold store misses update caches but charge no retirement stall:
+	// cycle count stays near the width bound.
+	if c.Cycles > 600 {
+		t.Fatalf("stores stalled retirement: %d cycles for 1000 instrs", c.Cycles)
+	}
+	if c.Stats.Stores != 1000 {
+		t.Fatalf("stores = %d, want 1000", c.Stats.Stores)
+	}
+}
+
+func TestCoreStepBounded(t *testing.T) {
+	c := NewCore(0, Config{}, &scriptReader{recs: aluRecs(100)}, testHier(1), nil)
+	if ran := c.Step(30); ran != 30 {
+		t.Fatalf("Step(30) ran %d", ran)
+	}
+	if c.Done() {
+		t.Fatal("done too early")
+	}
+	if ran := c.Step(1000); ran != 70 {
+		t.Fatalf("second Step ran %d, want 70", ran)
+	}
+	if !c.Done() {
+		t.Fatal("not done at EOF")
+	}
+	if ran := c.Step(10); ran != 0 {
+		t.Fatalf("Step after done ran %d", ran)
+	}
+}
+
+func TestCoreRewind(t *testing.T) {
+	c := NewCore(0, Config{}, &scriptReader{recs: aluRecs(50)}, testHier(1), nil)
+	c.Step(1000)
+	if !c.Rewind() {
+		t.Fatal("rewindable reader reported not rewindable")
+	}
+	if c.Done() {
+		t.Fatal("still done after rewind")
+	}
+	if ran := c.Step(1000); ran != 50 {
+		t.Fatalf("ran %d after rewind, want 50", ran)
+	}
+}
+
+func TestSystemBalancesClocks(t *testing.T) {
+	h := testHier(2)
+	// Core 0: cheap ALU stream; core 1: expensive dependent misses.
+	c0 := NewCore(0, Config{}, &scriptReader{recs: aluRecs(20_000)}, h, nil)
+	recs := make([]trace.Record, 2000)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC:        0x5000,
+			Load0:     1<<41 + uint64(i)*4096,
+			Dependent: true,
+		}
+	}
+	c1 := NewCore(1, Config{MLP: 1}, &scriptReader{recs: recs}, h, nil)
+	sys := NewSystem(c0, c1)
+	if err := sys.Run(func(*Core) bool { return c0.Done() && c1.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	// The scheduler advances the laggard: both cores' final clocks
+	// should be within a few quanta of each other, not wildly apart —
+	// unless one simply ran out of work long before the other.
+	if c0.Cycles == 0 || c1.Cycles == 0 {
+		t.Fatal("a core never ran")
+	}
+}
+
+func TestSystemRestartFinished(t *testing.T) {
+	h := testHier(2)
+	c0 := NewCore(0, Config{}, &scriptReader{recs: aluRecs(10_000)}, h, nil)
+	c1 := NewCore(1, Config{}, &scriptReader{recs: aluRecs(100)}, h, nil)
+	sys := NewSystem(c0, c1)
+	sys.RestartFinished = true
+	// RestartFinished rewinds every exhausted trace (including the
+	// primary's), so the stop condition must use cumulative counts —
+	// Done() is never left true, exactly as in the sim driver.
+	if err := sys.Run(func(*Core) bool { return c0.Instrs >= 10_000 }); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Instrs <= 100 {
+		t.Fatalf("fast co-runner not restarted: ran %d instrs", c1.Instrs)
+	}
+	if c0.Instrs < 10_000 {
+		t.Fatalf("primary stopped early at %d instrs", c0.Instrs)
+	}
+}
+
+func TestBranchAccuracyStat(t *testing.T) {
+	recs := make([]trace.Record, 4000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x6000, IsBranch: true, Taken: true, Target: 0x6000}
+	}
+	c := NewCore(0, Config{}, &scriptReader{recs: recs}, testHier(1), branch.MustNew("bimodal"))
+	c.Step(1_000_000)
+	if acc := c.Stats.BranchAccuracy(); acc < 0.99 {
+		t.Fatalf("accuracy %v on always-taken stream", acc)
+	}
+}
+
+func TestResetStatsKeepsClock(t *testing.T) {
+	c := NewCore(0, Config{}, &scriptReader{recs: aluRecs(1000)}, testHier(1), nil)
+	c.Step(500)
+	cyc, ins := c.Cycles, c.Instrs
+	c.ResetStats()
+	if c.Cycles != cyc || c.Instrs != ins {
+		t.Fatal("ResetStats must not rewind the clock")
+	}
+	if c.Stats.Loads != 0 && c.Stats.Branches != 0 {
+		t.Fatal("event stats survived reset")
+	}
+}
+
+// failingReader errors after a few records.
+type failingReader struct{ n int }
+
+func (f *failingReader) Next(rec *trace.Record) error {
+	if f.n <= 0 {
+		return errReader
+	}
+	f.n--
+	rec.Reset()
+	rec.PC = 0x1000
+	return nil
+}
+
+var errReader = errors.New("boom")
+
+func TestCoreReaderErrorPropagates(t *testing.T) {
+	c := NewCore(0, Config{}, &failingReader{n: 10}, testHier(1), nil)
+	if ran := c.Step(1000); ran != 10 {
+		t.Fatalf("ran %d before the error, want 10", ran)
+	}
+	if !errors.Is(c.Err(), errReader) {
+		t.Fatalf("Err() = %v", c.Err())
+	}
+	if c.Done() {
+		t.Fatal("errored core reported Done")
+	}
+	if c.Step(10) != 0 {
+		t.Fatal("errored core kept running")
+	}
+}
+
+func TestSystemSurfacesCoreError(t *testing.T) {
+	h := testHier(2)
+	c0 := NewCore(0, Config{}, &scriptReader{recs: aluRecs(1000)}, h, nil)
+	c1 := NewCore(1, Config{}, &failingReader{n: 5}, h, nil)
+	sys := NewSystem(c0, c1)
+	err := sys.Run(func(*Core) bool { return false })
+	if !errors.Is(err, errReader) {
+		t.Fatalf("system returned %v, want reader error", err)
+	}
+}
+
+func TestCoreRewindUnsupported(t *testing.T) {
+	// A reader without Rewind support: Rewind reports false.
+	c := NewCore(0, Config{}, &failingReader{n: 1}, testHier(1), nil)
+	if c.Rewind() {
+		t.Fatal("non-rewindable reader reported rewindable")
+	}
+}

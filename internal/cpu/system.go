@@ -1,0 +1,72 @@
+package cpu
+
+// System interleaves multiple cores that share one hierarchy. The
+// scheduler always advances the core with the smallest local clock, which
+// reproduces the arrival-order structure of a cycle-interleaved
+// multi-core simulation without a global event queue.
+type System struct {
+	Cores []*Core
+	// Quantum is how many instructions a core runs per scheduling turn;
+	// 0 means 64.
+	Quantum uint64
+	// RestartFinished re-winds every core whose trace ends (ChampSim's
+	// multi-programmed behaviour: faster traces restart until the
+	// slowest finishes). Cores that cannot rewind simply stop. Note
+	// that the primary core restarts too, so stop conditions must use
+	// cumulative counts (Instrs), never Done().
+	RestartFinished bool
+}
+
+// NewSystem builds a system over cores.
+func NewSystem(cores ...*Core) *System {
+	return &System{Cores: cores, Quantum: 64}
+}
+
+// next picks the runnable core with the smallest cycle count, or nil.
+func (s *System) next() *Core {
+	var best *Core
+	for _, c := range s.Cores {
+		if c.Done() || c.Err() != nil {
+			continue
+		}
+		if best == nil || c.Cycles < best.Cycles {
+			best = c
+		}
+	}
+	return best
+}
+
+// Run advances the system until stop returns true or no core can run.
+// stop is evaluated between quanta with the core that just ran. It
+// returns the first core error encountered, if any.
+func (s *System) Run(stop func(ran *Core) bool) error {
+	q := s.Quantum
+	if q == 0 {
+		q = 64
+	}
+	for {
+		c := s.next()
+		if c == nil {
+			return s.firstErr()
+		}
+		c.Step(q)
+		if c.Err() != nil {
+			return c.Err()
+		}
+		if c.Done() && s.RestartFinished {
+			c.Rewind()
+		}
+		if stop(c) {
+			return nil
+		}
+	}
+}
+
+func (s *System) firstErr() error {
+	for _, c := range s.Cores {
+		if err := c.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

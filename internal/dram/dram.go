@@ -1,0 +1,179 @@
+// Package dram models main memory with channels, ranks, banks, open-row
+// (row-buffer) state and bank busy-time queueing. In 2nd-Trace mode both
+// cores share one DRAM instance, so bank conflicts and queueing delays
+// produce the off-chip contention component that PInTE deliberately does
+// not model (§IV-B) — keeping that distinction measurable.
+package dram
+
+import "fmt"
+
+// Config describes the memory system. All times are in core cycles.
+type Config struct {
+	Channels     int // power of two
+	RanksPerChan int
+	BanksPerRank int // power of two per rank
+	RowBytes     int // row-buffer size
+
+	RowHitLatency  uint64 // ACT already done: CAS + transfer + controller
+	RowMissLatency uint64 // PRE + ACT + CAS + transfer + controller
+	// BankBusyHit/Miss is how long the bank stays unavailable after an
+	// access starts; back-to-back requests to one bank queue behind it.
+	BankBusyHit  uint64
+	BankBusyMiss uint64
+}
+
+// Default returns the paper-inspired configuration: 8GB over 2 channels
+// (§III-A), with latencies that put an idle row miss at ~200 core cycles.
+func Default() Config {
+	return Config{
+		Channels:       2,
+		RanksPerChan:   2,
+		BanksPerRank:   8,
+		RowBytes:       8 << 10,
+		RowHitLatency:  110,
+		RowMissLatency: 210,
+		BankBusyHit:    24,
+		BankBusyMiss:   48,
+	}
+}
+
+// Halved returns Default with key resources halved (channels, banks, row
+// buffer) — the Fig 10 proxy-system trick the paper uses to "facilitate
+// contention off-chip that PInTE does not model".
+func Halved() Config {
+	c := Default()
+	c.Channels = 1
+	c.BanksPerRank = 4
+	c.RowBytes /= 2
+	c.BankBusyHit *= 2
+	c.BankBusyMiss *= 2
+	return c
+}
+
+// Stats counts memory traffic and timing.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	TotalLatency uint64 // sum of read latencies (queue + service)
+	QueueCycles  uint64 // sum of time spent waiting for a busy bank
+}
+
+// AvgReadLatency returns mean read latency in cycles.
+func (s *Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Reads)
+}
+
+// RowHitRate returns row-buffer hits over all accesses.
+func (s *Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+type bank struct {
+	openRow   int64
+	busyUntil uint64
+}
+
+// DRAM is a shared memory instance. It is not safe for concurrent use;
+// the multi-core driver interleaves cores onto it deterministically.
+type DRAM struct {
+	cfg   Config
+	banks []bank
+	Stats Stats
+
+	chanMask uint64
+	bankMask uint64
+	chanBits uint
+	bankBits uint
+	rowShift uint
+}
+
+// New builds a DRAM model; it returns an error for non-power-of-two
+// channel or bank counts.
+func New(cfg Config) (*DRAM, error) {
+	nb := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
+	if nb <= 0 {
+		return nil, fmt.Errorf("dram: no banks configured")
+	}
+	if cfg.Channels&(cfg.Channels-1) != 0 {
+		return nil, fmt.Errorf("dram: channels must be a power of two, got %d", cfg.Channels)
+	}
+	bpc := cfg.RanksPerChan * cfg.BanksPerRank
+	if bpc&(bpc-1) != 0 {
+		return nil, fmt.Errorf("dram: banks per channel must be a power of two, got %d", bpc)
+	}
+	d := &DRAM{cfg: cfg, banks: make([]bank, nb)}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	d.chanMask = uint64(cfg.Channels - 1)
+	d.chanBits = log2u(cfg.Channels)
+	d.bankMask = uint64(bpc - 1)
+	d.bankBits = log2u(bpc)
+	d.rowShift = log2u(cfg.RowBytes)
+	return d, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *DRAM {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func log2u(v int) uint {
+	n := uint(0)
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+// Access services one memory request starting at core time now and
+// returns its total latency (queueing included). Consecutive blocks
+// interleave across channels, then banks; a block's row is its address
+// divided by the row size, so streams enjoy row-buffer hits.
+func (d *DRAM) Access(now, addr uint64, isWrite bool) uint64 {
+	blk := addr / 64
+	ch := blk & d.chanMask
+	bk := (blk >> d.chanBits) & d.bankMask
+	b := &d.banks[ch*(d.bankMask+1)+bk]
+	row := int64(addr >> d.rowShift)
+
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	queue := start - now
+
+	var service, busy uint64
+	if b.openRow == row {
+		service, busy = d.cfg.RowHitLatency, d.cfg.BankBusyHit
+		d.Stats.RowHits++
+	} else {
+		service, busy = d.cfg.RowMissLatency, d.cfg.BankBusyMiss
+		d.Stats.RowMisses++
+		b.openRow = row
+	}
+	b.busyUntil = start + busy
+
+	lat := queue + service
+	if isWrite {
+		d.Stats.Writes++
+		return lat
+	}
+	d.Stats.Reads++
+	d.Stats.TotalLatency += lat
+	d.Stats.QueueCycles += queue
+	return lat
+}

@@ -1,0 +1,139 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := Default()
+	bad.Channels = 3
+	if _, err := New(bad); err == nil {
+		t.Error("non-power-of-two channels accepted")
+	}
+	bad = Default()
+	bad.BanksPerRank = 3 // ranks 2 × banks 3 = 6 per channel
+	if _, err := New(bad); err == nil {
+		t.Error("non-power-of-two banks per channel accepted")
+	}
+	bad = Default()
+	bad.Channels = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero banks accepted")
+	}
+}
+
+// sameBankStride is the smallest address stride that returns to the same
+// channel and bank under the Default geometry: channels × ranks × banks ×
+// block = 2 × 2 × 8 × 64 bytes.
+const sameBankStride = 2 * 2 * 8 * 64
+
+func TestRowBufferHitFasterThanMiss(t *testing.T) {
+	d := MustNew(Default())
+	addr := uint64(0x1000)
+	first := d.Access(0, addr, false)
+	// Same bank, same 8KB row, far enough apart that the bank is idle.
+	second := d.Access(100_000, addr+sameBankStride, false)
+	if second >= first {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", second, first)
+	}
+	cfg := Default()
+	if first != cfg.RowMissLatency || second != cfg.RowHitLatency {
+		t.Fatalf("latencies %d/%d, want %d/%d", first, second,
+			cfg.RowMissLatency, cfg.RowHitLatency)
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowMisses != 1 {
+		t.Fatalf("row stats %d/%d, want 1/1", d.Stats.RowHits, d.Stats.RowMisses)
+	}
+}
+
+func TestBankQueueingDelaysBackToBack(t *testing.T) {
+	d := MustNew(Default())
+	addr := uint64(0x2000)
+	d.Access(0, addr, false)
+	// Immediate second access to the same bank queues behind it.
+	lat := d.Access(1, addr+sameBankStride, false)
+	if lat <= Default().RowHitLatency {
+		t.Fatalf("back-to-back access latency %d shows no queueing", lat)
+	}
+	if d.Stats.QueueCycles == 0 {
+		t.Fatal("queue cycles not recorded")
+	}
+}
+
+func TestChannelInterleavingAvoidsQueueing(t *testing.T) {
+	d := MustNew(Default())
+	// Consecutive blocks go to different channels: no bank conflict.
+	l1 := d.Access(0, 0, false)
+	l2 := d.Access(1, 64, false)
+	if l2 > l1 {
+		t.Fatalf("adjacent blocks should interleave channels: %d then %d", l1, l2)
+	}
+}
+
+func TestWritesCountedSeparately(t *testing.T) {
+	d := MustNew(Default())
+	d.Access(0, 0x40, true)
+	d.Access(10_000, 0x40, false)
+	if d.Stats.Writes != 1 || d.Stats.Reads != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 1/1", d.Stats.Reads, d.Stats.Writes)
+	}
+	// Writes must not pollute the read-latency average.
+	if d.Stats.AvgReadLatency() != float64(Default().RowHitLatency) {
+		t.Fatalf("avg read latency %v polluted by write", d.Stats.AvgReadLatency())
+	}
+}
+
+func TestHalvedHasFewerResources(t *testing.T) {
+	def, hal := Default(), Halved()
+	if hal.Channels >= def.Channels {
+		t.Error("halved config does not reduce channels")
+	}
+	if hal.BanksPerRank >= def.BanksPerRank {
+		t.Error("halved config does not reduce banks")
+	}
+	if hal.RowBytes >= def.RowBytes {
+		t.Error("halved config does not reduce row buffer")
+	}
+}
+
+func TestHalvedCongestsFaster(t *testing.T) {
+	latTotal := func(cfg Config) uint64 {
+		d := MustNew(cfg)
+		var total uint64
+		for i := 0; i < 1000; i++ {
+			total += d.Access(uint64(i), uint64(i)*64, false)
+		}
+		return total
+	}
+	if latTotal(Halved()) <= latTotal(Default()) {
+		t.Fatal("halved DRAM not slower under a burst")
+	}
+}
+
+// TestLatencyMonotonicProperty: latency is always at least the row-hit
+// service time and queueing never makes time go backwards.
+func TestLatencyBoundsProperty(t *testing.T) {
+	cfg := Default()
+	d := MustNew(cfg)
+	now := uint64(0)
+	f := func(stepRaw uint16, addrRaw uint32) bool {
+		now += uint64(stepRaw)
+		lat := d.Access(now, uint64(addrRaw)*8, false)
+		return lat >= cfg.RowHitLatency && lat < cfg.RowMissLatency+1_000_000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	d := MustNew(Default())
+	// A pure stream within one row (after the first activation per bank).
+	for i := 0; i < 64; i++ {
+		d.Access(uint64(i*1000), uint64(i)*64, false)
+	}
+	if hr := d.Stats.RowHitRate(); hr < 0.5 {
+		t.Fatalf("streaming row hit rate %v too low", hr)
+	}
+}

@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/c2afe"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// CapacityCurve is one workload's performance as a function of its LLC
+// way allocation — the capacity curves C²AFE (the paper's curve-feature
+// tool, §V-A) was built to annotate. Contention steals capacity, so a
+// workload's capacity curve predicts its contention curve: the same knee
+// that appears when ways are taken away appears when thefts remove blocks.
+type CapacityCurve struct {
+	Benchmark string
+	// Ways[i] of the LLC allocated; WeightedIPC[i] relative to the
+	// full-allocation run.
+	Ways        []int
+	WeightedIPC []float64
+	MissRate    []float64
+	Features    c2afe.Features
+}
+
+// CapacityResult holds capacity curves for the scale's workloads.
+type CapacityResult struct {
+	Curves []CapacityCurve
+}
+
+// Capacity sweeps LLC way allocations in isolation and extracts C²AFE
+// features from the resulting curves.
+func Capacity(r *Runner) (*CapacityResult, *report.Table, error) {
+	ways := []int{1, 2, 4, 8, 12, 16}
+	res := &CapacityResult{}
+	tbl := &report.Table{
+		ID:      "capacity",
+		Title:   "Capacity curves: weighted IPC vs LLC way allocation (C²AFE features)",
+		Columns: []string{"Benchmark", "alloc ways", "weighted IPC", "LLC miss rate", "knee", "trend", "sensitivity"},
+	}
+
+	for _, w := range r.Scale.Workloads {
+		var cfgs []sim.Config
+		for _, n := range ways {
+			cfg := r.Iso(w)
+			cfg.LLCWayAllocation = n
+			cfgs = append(cfgs, cfg)
+		}
+		runs, err := r.GetAll(cfgs)
+		if err != nil {
+			return nil, nil, err
+		}
+		fullIPC := runs[len(runs)-1].IPC
+		curve := CapacityCurve{Benchmark: w}
+		var xs []float64
+		for i, n := range ways {
+			wipc := 0.0
+			if fullIPC > 0 {
+				wipc = runs[i].IPC / fullIPC
+			}
+			curve.Ways = append(curve.Ways, n)
+			curve.WeightedIPC = append(curve.WeightedIPC, wipc)
+			curve.MissRate = append(curve.MissRate, runs[i].MissRate)
+			xs = append(xs, float64(n)/16)
+		}
+		curve.Features = c2afe.Extract(xs, curve.WeightedIPC)
+		res.Curves = append(res.Curves, curve)
+
+		for i, n := range ways {
+			knee, trend, sens := "", "", ""
+			if i == 0 {
+				knee = fmt.Sprintf("%.2f", curve.Features.Knee)
+				trend = fmt.Sprintf("%.3f", curve.Features.Trend)
+				sens = fmt.Sprintf("%.3f", curve.Features.Sensitivity)
+			}
+			tbl.AddRowf(w, n, curve.WeightedIPC[i], curve.MissRate[i], knee, trend, sens)
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"capacity loss and theft-induced loss are two views of the same resource: a steep capacity knee predicts contention sensitivity",
+	)
+	return res, tbl, nil
+}

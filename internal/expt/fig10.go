@@ -1,0 +1,151 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// fig10Benchmarks are the six SPEC 17 benchmarks of Figure 10.
+var fig10Benchmarks = []string{
+	"600.perlbench", "602.gcc", "619.lbm", "620.omnetpp", "627.cam4", "648.exchange2",
+}
+
+// fig10AllocFrac is the RDT allocation of §V-D: 10MB of the 11MB LLC.
+const fig10AllocFrac = 10.0 / 11.0
+
+// Fig10Point is one sampled (x, %ΔIPC) observation.
+type Fig10Point struct {
+	X        float64 // change-in-occupancy % (proxy) or interference rate (PInTE)
+	DeltaIPC float64 // percent change vs the lowest-contention case
+}
+
+// Fig10Bench is one benchmark's comparison.
+type Fig10Bench struct {
+	Benchmark string
+	// Proxy ("real system" substitute) points: pair co-runs on the
+	// Xeon-like machine, x = Eq 6 change in occupancy.
+	Proxy []Fig10Point
+	// PInTE points on the same machine, x = interference rate.
+	PInTE []Fig10Point
+	// MaxLossProxy / MaxLossPInTE summarise each side's worst %ΔIPC.
+	MaxLossProxy, MaxLossPInTE float64
+}
+
+// Fig10Result reproduces Figure 10's real-system comparison. The paper
+// runs SPEC 17 Rate pairs on an Intel Xeon Silver 4110 (11MB LLC, RDT
+// capped at 10MB) and compares against PInTE on a ChampSim model of the
+// server with halved DRAM resources. Without the hardware, both sides run
+// on the Xeon-like simulator configuration: the proxy side uses real
+// co-run contention and the Eq 6 occupancy metric (all the paper can
+// measure on hardware), the PInTE side uses induced contention and
+// interference rate.
+type Fig10Result struct {
+	Benchmarks []Fig10Bench
+}
+
+// fig10Machine is the Xeon Silver 4110 stand-in: 11MB 11-way LLC and
+// halved DRAM resources (§V-D).
+func fig10Machine(cores int) (cache.HierarchyConfig, dram.Config) {
+	h := cache.DefaultConfig(cores)
+	h.LLC = cache.LevelConfig{SizeBytes: 11 << 20, Ways: 11, HitLatency: 30}
+	return h, dram.Halved()
+}
+
+// Fig10 runs the comparison at r's scale budgets.
+func Fig10(r *Runner) (*Fig10Result, *report.Table, error) {
+	res := &Fig10Result{}
+	hier1, dcfg := fig10Machine(1)
+	hier2, _ := fig10Machine(2)
+
+	// The paper caps the measured workloads at 10 of the Xeon's 11MB
+	// via Intel RDT; the model expresses the same cap as a 10-of-11
+	// way allocation.
+	const allocWays = 10
+	mkIso := func(w string) sim.Config {
+		cfg := r.base(sim.Config{Mode: sim.Isolation, Workload: w})
+		cfg.Hier, cfg.DRAM = hier1, &dcfg
+		cfg.LLCWayAllocation = allocWays
+		return cfg
+	}
+	mkPair := func(w, adv string) sim.Config {
+		cfg := r.base(sim.Config{Mode: sim.SecondTrace, Workload: w, Adversary: adv})
+		cfg.Hier, cfg.DRAM = hier2, &dcfg
+		cfg.LLCWayAllocation = allocWays
+		return cfg
+	}
+	mkPinte := func(w string, p float64) sim.Config {
+		cfg := r.base(sim.Config{Mode: sim.PInTE, Workload: w, PInduce: p})
+		cfg.Hier, cfg.DRAM = hier1, &dcfg
+		cfg.LLCWayAllocation = allocWays
+		return cfg
+	}
+
+	tbl := &report.Table{
+		ID:    "fig10",
+		Title: "Real-system proxy vs PInTE on the Xeon-like machine (%ΔIPC)",
+		Columns: []string{"Benchmark", "side", "x (occupancyΔ% | interf rate)",
+			"ΔIPC%"},
+	}
+	for _, w := range fig10Benchmarks {
+		iso, err := r.Get(mkIso(w))
+		if err != nil {
+			return nil, nil, err
+		}
+		fb := Fig10Bench{Benchmark: w}
+
+		// Proxy side: co-run with every other Fig 10 benchmark.
+		var baseIPC float64
+		var proxyRes []*sim.Result
+		for _, adv := range fig10Benchmarks {
+			if adv == w {
+				continue
+			}
+			pr, err := r.Get(mkPair(w, adv))
+			if err != nil {
+				return nil, nil, err
+			}
+			proxyRes = append(proxyRes, pr)
+		}
+		// The lowest-contention case anchors ΔIPC (the paper's dotted
+		// lines reference the lowest contention run).
+		baseIPC = iso.IPC
+		for _, pr := range proxyRes {
+			occ := 100 * (pr.OccupancyFrac/fig10AllocFrac - 1)
+			d := 100 * (pr.IPC - baseIPC) / baseIPC
+			fb.Proxy = append(fb.Proxy, Fig10Point{X: occ, DeltaIPC: d})
+			if d < fb.MaxLossProxy {
+				fb.MaxLossProxy = d
+			}
+		}
+
+		// PInTE side across the sweep.
+		for _, p := range r.Scale.Sweep {
+			pr, err := r.Get(mkPinte(w, p))
+			if err != nil {
+				return nil, nil, err
+			}
+			d := 100 * (pr.IPC - baseIPC) / baseIPC
+			fb.PInTE = append(fb.PInTE, Fig10Point{X: pr.ContentionRate, DeltaIPC: d})
+			if d < fb.MaxLossPInTE {
+				fb.MaxLossPInTE = d
+			}
+		}
+		res.Benchmarks = append(res.Benchmarks, fb)
+
+		for _, pt := range fb.Proxy {
+			tbl.AddRowf(w, "proxy", pt.X, pt.DeltaIPC)
+		}
+		for _, pt := range fb.PInTE {
+			tbl.AddRowf(w, "pinte", pt.X, pt.DeltaIPC)
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("machine: 11MB 11-way LLC, halved DRAM; Eq 6 allocation cap %.0f%% of LLC", 100*fig10AllocFrac),
+		"paper: lbm/cam4 lose more under PInTE (controlled contention + dearer DRAM); perlbench/gcc within a few percent; exchange2 insensitive",
+	)
+	return res, tbl, nil
+}

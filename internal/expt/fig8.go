@@ -1,0 +1,136 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/c2afe"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig8Workload is one benchmark's sensitivity analysis.
+type Fig8Workload struct {
+	Benchmark string
+
+	// PInTECurve / SecondCurve are (contention rate group centre,
+	// mean weighted IPC) series.
+	PInTEX, PInTEY   []float64
+	SecondX, SecondY []float64
+
+	// Classification at 5% TPL from each contention source's run-time
+	// samples, with sensitive-curve population.
+	PInTEClass  c2afe.Class
+	SecondClass c2afe.Class
+	PInTESCP    float64
+	SecondSCP   float64
+
+	// Disagree marks classification mismatch (the paper's blue dotted
+	// borders); PaperClass and PaperDisagree carry the paper's own
+	// labels for comparison.
+	Disagree      bool
+	PaperClass    string
+	PaperDisagree bool
+
+	// Features summarises the PInTE contention curve (C²AFE).
+	Features c2afe.Features
+}
+
+// Fig8Result reproduces Figure 8 and the §V-B characterisation headline.
+type Fig8Result struct {
+	Workloads []Fig8Workload
+	// ShareHigh/Low/Mixed are the class shares under PInTE
+	// classification (paper: 12% / 57% / 16%, remainder disagreements).
+	ShareHigh, ShareLow, ShareMixed float64
+}
+
+// weightedSamples converts run-time IPC samples to weighted IPC by
+// pairing each contention interval with the same interval of the
+// isolation run — §V-B compares "instruction samples … from isolation
+// IPC", and interval pairing cancels the workload's own phase noise.
+func weightedSamples(results []*sim.Result, iso *sim.Result) []float64 {
+	var out []float64
+	for _, r := range results {
+		n := len(r.Samples)
+		if len(iso.Samples) < n {
+			n = len(iso.Samples)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, stats.WeightedIPC(r.Samples[i].IPC, iso.Samples[i].IPC))
+		}
+	}
+	return out
+}
+
+// curve builds a CRG-grouped contention curve from results.
+func curve(results []*sim.Result, isoIPC float64) (xs, ys []float64) {
+	var rx, ry []float64
+	for _, r := range results {
+		rx = append(rx, r.ContentionRate)
+		ry = append(ry, stats.WeightedIPC(r.IPC, isoIPC))
+	}
+	return stats.DefaultCRG().GroupMeans(rx, ry)
+}
+
+// Fig8 builds contention-sensitivity curves and classifications.
+func Fig8(r *Runner) (*Fig8Result, *report.Table, error) {
+	iso, err := r.IsolationAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := r.PairsAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	sweep, err := r.SweepAll()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Fig8Result{}
+	counts := map[c2afe.Class]int{}
+	for _, w := range r.Scale.Workloads {
+		isoIPC := iso[w].IPC
+		fw := Fig8Workload{Benchmark: w}
+		fw.PInTEX, fw.PInTEY = curve(sweep[w], isoIPC)
+		fw.SecondX, fw.SecondY = curve(pairs[w], isoIPC)
+		fw.PInTEClass, fw.PInTESCP = c2afe.Classify(weightedSamples(sweep[w], iso[w]), c2afe.DefaultTPL)
+		fw.SecondClass, fw.SecondSCP = c2afe.Classify(weightedSamples(pairs[w], iso[w]), c2afe.DefaultTPL)
+		fw.Disagree = fw.PInTEClass != fw.SecondClass
+		if p, err := trace.Lookup(w); err == nil {
+			fw.PaperClass = p.Sensitivity
+			fw.PaperDisagree = p.Disagreement
+		}
+		fw.Features = c2afe.Extract(fw.PInTEX, fw.PInTEY)
+		counts[fw.PInTEClass]++
+		res.Workloads = append(res.Workloads, fw)
+	}
+	n := float64(len(res.Workloads))
+	if n > 0 {
+		res.ShareHigh = float64(counts[c2afe.HighSensitivity]) / n
+		res.ShareLow = float64(counts[c2afe.LowSensitivity]) / n
+		res.ShareMixed = float64(counts[c2afe.MixedSensitivity]) / n
+	}
+
+	tbl := &report.Table{
+		ID:    "fig8",
+		Title: "Contention sensitivity curves and classification (5% TPL)",
+		Columns: []string{"Benchmark", "PInTE class", "SCP%", "2nd class", "SCP%",
+			"disagree", "paper class", "knee", "trend"},
+	}
+	for _, fw := range res.Workloads {
+		dis := ""
+		if fw.Disagree {
+			dis = "yes"
+		}
+		tbl.AddRowf(fw.Benchmark, fw.PInTEClass.String(), 100*fw.PInTESCP,
+			fw.SecondClass.String(), 100*fw.SecondSCP, dis, fw.PaperClass,
+			fw.Features.Knee, fw.Features.Trend)
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("class shares under PInTE: high %.0f%%, low %.0f%%, mixed %.0f%% (paper: 12/57/16)",
+			100*res.ShareHigh, 100*res.ShareLow, 100*res.ShareMixed),
+	)
+	return res, tbl, nil
+}

@@ -1,0 +1,119 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Generator regenerates one paper artifact at the runner's scale.
+type Generator func(*Runner) ([]*report.Table, error)
+
+// registry maps experiment ids to generators. Ids match DESIGN.md's
+// per-experiment index.
+var registry = map[string]Generator{
+	"table1": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Table1(r)
+		return one(t), err
+	},
+	"fig1": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig1(r)
+		return one(t), err
+	},
+	"fig2": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig2()
+		return one(t), err
+	},
+	"fig3": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig3(r)
+		return one(t), err
+	},
+	"table2": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Table2(r)
+		return one(t), err
+	},
+	"fig5": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig5(r)
+		return one(t), err
+	},
+	"fig6": func(r *Runner) ([]*report.Table, error) {
+		_, ts, err := Fig6(r)
+		return ts, err
+	},
+	"fig7": func(r *Runner) ([]*report.Table, error) {
+		_, ts, err := Fig7(r)
+		return ts, err
+	},
+	"fig8": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig8(r)
+		return one(t), err
+	},
+	"fig9": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig9(r)
+		return one(t), err
+	},
+	"fig10": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Fig10(r)
+		return one(t), err
+	},
+	"fig11": func(r *Runner) ([]*report.Table, error) {
+		_, ts, err := Fig11(r)
+		return ts, err
+	},
+	// ext is not a paper artifact: it measures the §IV-E2b future-work
+	// mechanisms this reproduction implements.
+	"ext": func(r *Runner) ([]*report.Table, error) {
+		_, ts, err := Extensions(r)
+		return ts, err
+	},
+	// capacity is not a paper artifact: C²AFE-style capacity curves
+	// via RDT-like way allocation, complementing the Fig 8 contention
+	// curves.
+	"capacity": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Capacity(r)
+		return one(t), err
+	},
+	// partitioning is not a paper artifact: it evaluates the
+	// contention-aware designs (§VII-d) — UCP vs CASHT-style
+	// theft-guided LLC partitioning — on this substrate.
+	"partitioning": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := Partitioning(r)
+		return one(t), err
+	},
+}
+
+func one(t *report.Table) []*report.Table {
+	if t == nil {
+		return nil
+	}
+	return []*report.Table{t}
+}
+
+// IDs lists registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves an experiment id.
+func Lookup(id string) (Generator, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown experiment %q (have %v)", id, IDs())
+	}
+	return g, nil
+}
+
+// RunExperiment resolves and runs one experiment.
+func RunExperiment(id string, r *Runner) ([]*report.Table, error) {
+	g, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return g(r)
+}

@@ -1,0 +1,202 @@
+package expt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Runner executes simulations for the experiment generators, memoizing
+// results so experiments that share runs (the PInTE sweep feeds Table II,
+// Fig 6, Fig 7, Fig 8 and Fig 9) pay for them once. Safe for concurrent
+// use.
+type Runner struct {
+	Scale Scale
+
+	mu   sync.Mutex
+	memo map[string]*sim.Result
+}
+
+// NewRunner builds a runner for scale.
+func NewRunner(s Scale) *Runner {
+	return &Runner{Scale: s, memo: make(map[string]*sim.Result)}
+}
+
+// key serialises the configuration fields the experiments vary. Ad-hoc
+// specs (WorkloadSpec overrides) are not memoizable and get unique keys.
+func (r *Runner) key(cfg sim.Config) string {
+	dram := "default"
+	if cfg.DRAM != nil {
+		dram = fmt.Sprintf("%+v", *cfg.DRAM)
+	}
+	ad := ""
+	if cfg.WorkloadSpec != nil || cfg.AdversarySpec != nil {
+		ad = fmt.Sprintf("|adhoc:%p/%p", cfg.WorkloadSpec, cfg.AdversarySpec)
+	}
+	return fmt.Sprintf("m%d|w%s|a%s+%v|p%.6f|s%d.%d|%d/%d/%d|b%s|h%+v|d%s|x%d.%.4f.%d.%d|pt%s.%d%s",
+		cfg.Mode, cfg.Workload, cfg.Adversary, cfg.Adversaries, cfg.PInduce, cfg.Seed, cfg.EngineSeed,
+		cfg.WarmupInstrs, cfg.ROIInstrs, cfg.SampleEvery,
+		cfg.Branch, cfg.Hier, dram,
+		cfg.IndependentPeriod, cfg.DRAMContentionProb, cfg.DRAMContentionPenalty,
+		cfg.LLCWayAllocation, cfg.Partitioning, cfg.ReallocEvery, ad)
+}
+
+// base stamps the scale's budgets onto cfg.
+func (r *Runner) base(cfg sim.Config) sim.Config {
+	if cfg.WarmupInstrs == 0 {
+		cfg.WarmupInstrs = r.Scale.Warmup
+	}
+	if cfg.ROIInstrs == 0 {
+		cfg.ROIInstrs = r.Scale.ROI
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = r.Scale.SampleEvery
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = r.Scale.Seed
+	}
+	return cfg
+}
+
+// Iso returns the isolation configuration for workload w.
+func (r *Runner) Iso(w string) sim.Config {
+	return r.base(sim.Config{Mode: sim.Isolation, Workload: w})
+}
+
+// Pinte returns the PInTE configuration for workload w at p.
+func (r *Runner) Pinte(w string, p float64) sim.Config {
+	return r.base(sim.Config{Mode: sim.PInTE, Workload: w, PInduce: p})
+}
+
+// PinteSeeded is Pinte with an explicit engine seed: the workload stream
+// stays identical and only the injection events move (the Fig 3 rerun
+// study).
+func (r *Runner) PinteSeeded(w string, p float64, engineSeed uint64) sim.Config {
+	cfg := r.Pinte(w, p)
+	cfg.EngineSeed = engineSeed
+	return cfg
+}
+
+// Second returns the 2nd-Trace configuration co-running w with adv.
+func (r *Runner) Second(w, adv string) sim.Config {
+	return r.base(sim.Config{Mode: sim.SecondTrace, Workload: w, Adversary: adv})
+}
+
+// Get runs (or recalls) one configuration.
+func (r *Runner) Get(cfg sim.Config) (*sim.Result, error) {
+	res, err := r.GetAll([]sim.Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// GetAll runs (or recalls) a batch, executing missing configurations in
+// parallel, and returns results in input order.
+func (r *Runner) GetAll(cfgs []sim.Config) ([]*sim.Result, error) {
+	keys := make([]string, len(cfgs))
+	var missing []sim.Config
+	var missingIdx []int
+	r.mu.Lock()
+	seen := make(map[string]bool)
+	for i, cfg := range cfgs {
+		k := r.key(cfg)
+		keys[i] = k
+		if r.memo[k] == nil && !seen[k] {
+			seen[k] = true
+			missing = append(missing, cfg)
+			missingIdx = append(missingIdx, i)
+		}
+	}
+	r.mu.Unlock()
+
+	if len(missing) > 0 {
+		results, err := sim.RunMany(missing, r.Scale.Workers)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		for j, res := range results {
+			r.memo[keys[missingIdx[j]]] = res
+		}
+		r.mu.Unlock()
+	}
+
+	out := make([]*sim.Result, len(cfgs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, k := range keys {
+		res := r.memo[k]
+		if res == nil {
+			return nil, fmt.Errorf("expt: missing result for %s", k)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// IsolationAll returns isolation results for every scale workload,
+// indexed by name.
+func (r *Runner) IsolationAll() (map[string]*sim.Result, error) {
+	cfgs := make([]sim.Config, len(r.Scale.Workloads))
+	for i, w := range r.Scale.Workloads {
+		cfgs[i] = r.Iso(w)
+	}
+	res, err := r.GetAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*sim.Result, len(res))
+	for i, w := range r.Scale.Workloads {
+		out[w] = res[i]
+	}
+	return out, nil
+}
+
+// SweepAll returns PInTE results for every (workload, P_Induce) pair in
+// the scale, keyed by workload.
+func (r *Runner) SweepAll() (map[string][]*sim.Result, error) {
+	var cfgs []sim.Config
+	for _, w := range r.Scale.Workloads {
+		for _, p := range r.Scale.Sweep {
+			cfgs = append(cfgs, r.Pinte(w, p))
+		}
+	}
+	res, err := r.GetAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]*sim.Result, len(r.Scale.Workloads))
+	i := 0
+	for _, w := range r.Scale.Workloads {
+		out[w] = res[i : i+len(r.Scale.Sweep)]
+		i += len(r.Scale.Sweep)
+	}
+	return out, nil
+}
+
+// PairsAll returns 2nd-Trace results for every workload against its
+// scale-assigned adversaries, keyed by workload.
+func (r *Runner) PairsAll() (map[string][]*sim.Result, error) {
+	var cfgs []sim.Config
+	counts := make([]int, len(r.Scale.Workloads))
+	for i, w := range r.Scale.Workloads {
+		advs := r.Scale.Adversaries(w)
+		counts[i] = len(advs)
+		for _, a := range advs {
+			cfgs = append(cfgs, r.Second(w, a))
+		}
+	}
+	res, err := r.GetAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]*sim.Result, len(r.Scale.Workloads))
+	i := 0
+	for k, w := range r.Scale.Workloads {
+		out[w] = res[i : i+counts[k]]
+		i += counts[k]
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+// Package expt regenerates every table and figure of the PInTE paper's
+// evaluation from the bundled simulator: Table I (simulation cost), Fig 1
+// (contention-rate coverage), Fig 2 (theft mechanics walkthrough), Fig 3
+// (stability), Table II (relative error), Fig 5/6 (reuse KL divergence),
+// Fig 7 (run-time KL and CRG coverage), Fig 8 (sensitivity curves and
+// classification), Fig 9 (AMAT distributions), Fig 10 (real-system
+// proxy), and Fig 11 (architecture case study).
+//
+// Each experiment has a generator function returning both a typed result
+// (asserted by tests) and report tables (rendered by cmd/pintereport and
+// recorded in EXPERIMENTS.md).
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Scale bounds an experiment's cost. The paper's full study (188 traces ×
+// 1B instructions) is scaled down; ratios between warm-up, region of
+// interest and sample interval are preserved (500M:500M:10M ≈ 1:1:1/50).
+type Scale struct {
+	// Warmup, ROI and SampleEvery are per-run instruction budgets.
+	Warmup, ROI, SampleEvery uint64
+	// Workloads is the benchmark subset exercised.
+	Workloads []string
+	// AdversariesPerWorkload bounds 2nd-Trace pairings per workload.
+	AdversariesPerWorkload int
+	// Sweep is the P_Induce configuration set.
+	Sweep []float64
+	// Reruns is the per-configuration repeat count (Fig 3).
+	Reruns int
+	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the base seed for all derived runs.
+	Seed uint64
+}
+
+// Tiny returns a unit-test scale: 6 workloads (one per behavioural
+// corner), short regions. Experiment shapes remain observable; absolute
+// numbers are noisy.
+func Tiny() Scale {
+	return Scale{
+		Warmup:      50_000,
+		ROI:         150_000,
+		SampleEvery: 15_000,
+		Workloads: []string{
+			"453.povray", // core-bound
+			"456.hmmer",  // core-bound with L2 spills ('*')
+			"450.soplex", // LLC-bound pointer chase ('+')
+			"433.milc",   // LLC-bound random
+			"470.lbm",    // DRAM-bound streaming
+			"429.mcf",    // DRAM-bound pointer chase (disagreement)
+		},
+		AdversariesPerWorkload: 2,
+		Sweep:                  []float64{0.01, 0.10, 0.50, 0.90},
+		Reruns:                 4,
+		Seed:                   1,
+	}
+}
+
+// Small returns the default benchmark scale: a 12-workload cross-section
+// covering every class and both suites, a 6-point sweep, 3 adversaries.
+func Small() Scale {
+	return Scale{
+		Warmup:      100_000,
+		ROI:         400_000,
+		SampleEvery: 40_000,
+		Workloads: []string{
+			"400.perlbench", "453.povray", "456.hmmer", "641.leela",
+			"450.soplex", "471.omnetpp", "433.milc", "605.mcf",
+			"470.lbm", "619.lbm", "429.mcf", "403.gcc",
+		},
+		AdversariesPerWorkload: 3,
+		Sweep:                  []float64{0.01, 0.05, 0.10, 0.30, 0.50, 0.90},
+		Reruns:                 8,
+		Seed:                   1,
+	}
+}
+
+// Full returns the complete reproduction: all 49 presets, the 12-point
+// sweep, 8 adversaries per workload, 25 reruns for the stability study.
+func Full() Scale {
+	return Scale{
+		Warmup:                 200_000,
+		ROI:                    1_000_000,
+		SampleEvery:            50_000,
+		Workloads:              trace.Names(),
+		AdversariesPerWorkload: 8,
+		Sweep: []float64{0.005, 0.01, 0.025, 0.05, 0.075, 0.10,
+			0.20, 0.30, 0.50, 0.70, 0.90, 1.0},
+		Reruns: 25,
+		Seed:   1,
+	}
+}
+
+// ByName resolves a scale name used by command-line tools.
+func ByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "full":
+		return Full(), nil
+	}
+	return Scale{}, fmt.Errorf("expt: unknown scale %q (want tiny, small or full)", name)
+}
+
+// Adversaries returns the co-runner list for workload w: a deterministic
+// rotation over the scale's workload set, excluding w itself, bounded by
+// AdversariesPerWorkload. Rotating (rather than taking a fixed prefix)
+// spreads adversary classes across primaries the way the paper's
+// all-pairs study does.
+func (s Scale) Adversaries(w string) []string {
+	var out []string
+	start := 0
+	for i, name := range s.Workloads {
+		if name == w {
+			start = i + 1
+			break
+		}
+	}
+	n := len(s.Workloads)
+	for k := 0; k < n && len(out) < s.AdversariesPerWorkload; k++ {
+		cand := s.Workloads[(start+k)%n]
+		if cand == w {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table1Row is one source-of-contention row of Table I.
+type Table1Row struct {
+	Source   string
+	Sims     int
+	AvgSec   float64
+	StdSec   float64
+	MaxSec   float64
+	MinSec   float64
+	TotalSec float64
+}
+
+// Table1Result reproduces Table I: simulation run-times and experiment
+// sizes for the three contention sources, measured on this simulator.
+type Table1Result struct {
+	Rows [3]Table1Row
+
+	// AvgTimeRatio2nd is avg(2nd-Trace)/avg(None) — the paper reports
+	// 2.4×. TotalTimeRatio2nd is total(2nd-Trace)/total(None) at the
+	// executed experiment counts.
+	AvgTimeRatio2nd   float64
+	AvgTimeRatioPInTE float64
+
+	// FullScaleExperimentRatio is the §IV-E4 arithmetic at 188 traces:
+	// all-pairs 2nd-Trace experiments over 12-configuration PInTE
+	// experiments (the paper's 7.79×).
+	FullScaleExperimentRatio float64
+}
+
+func times(results []*sim.Result) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.WallTime.Seconds()
+	}
+	return out
+}
+
+func summarizeTimes(source string, results []*sim.Result) Table1Row {
+	ts := times(results)
+	s := stats.Summarize(ts)
+	var total float64
+	for _, t := range ts {
+		total += t
+	}
+	return Table1Row{
+		Source:   source,
+		Sims:     len(ts),
+		AvgSec:   s.Mean,
+		StdSec:   stats.StdDev(ts),
+		MaxSec:   s.Max,
+		MinSec:   s.Min,
+		TotalSec: total,
+	}
+}
+
+// Table1 measures Table I on the bundled simulator at r's scale.
+func Table1(r *Runner) (*Table1Result, *report.Table, error) {
+	iso, err := r.IsolationAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := r.PairsAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	sweep, err := r.SweepAll()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var isoR, pairR, pinR []*sim.Result
+	for _, w := range r.Scale.Workloads {
+		isoR = append(isoR, iso[w])
+		pairR = append(pairR, pairs[w]...)
+		pinR = append(pinR, sweep[w]...)
+	}
+
+	res := &Table1Result{}
+	res.Rows[0] = summarizeTimes("None", isoR)
+	res.Rows[1] = summarizeTimes("2nd-Trace", pairR)
+	res.Rows[2] = summarizeTimes("PInTE", pinR)
+	if res.Rows[0].AvgSec > 0 {
+		res.AvgTimeRatio2nd = res.Rows[1].AvgSec / res.Rows[0].AvgSec
+		res.AvgTimeRatioPInTE = res.Rows[2].AvgSec / res.Rows[0].AvgSec
+	}
+	const traces = 188.0
+	res.FullScaleExperimentRatio = (traces * (traces - 1) / 2) / (12 * traces)
+
+	tbl := &report.Table{
+		ID:      "table1",
+		Title:   "Simulation run-times and experiment sizes (wall clock, this simulator)",
+		Columns: []string{"Source", "#Sims", "Avg(s)", "StdDev(s)", "Max(s)", "Min(s)", "Total(s)"},
+	}
+	for _, row := range res.Rows {
+		tbl.AddRowf(row.Source, row.Sims, row.AvgSec, row.StdSec, row.MaxSec, row.MinSec, row.TotalSec)
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("avg-time ratios vs isolation: 2nd-Trace %.2fx (paper 2.4x), PInTE %.2fx (paper 1.12x)",
+			res.AvgTimeRatio2nd, res.AvgTimeRatioPInTE),
+		fmt.Sprintf("full-scale experiment-count ratio (188 traces, all pairs vs 12-config sweep): %.2fx (paper 7.79x)",
+			res.FullScaleExperimentRatio),
+		fmt.Sprintf("wall times measured %s on this host; shapes, not absolute hours, are the target", time.Now().Format("2006-01-02")),
+	)
+	return res, tbl, nil
+}

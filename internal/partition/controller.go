@@ -1,0 +1,228 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Controller periodically recomputes per-core way allocations for a
+// shared cache. Attach observes the cache (install monitors);
+// Reallocate returns the new per-core way masks.
+type Controller interface {
+	Name() string
+	// Attach installs any monitoring the controller needs. Call once.
+	Attach(llc *cache.Cache)
+	// Reallocate computes fresh way masks, one per core. Masks are
+	// contiguous way ranges (hardware-realistic) and every core gets
+	// at least one way.
+	Reallocate(llc *cache.Cache) []uint64
+}
+
+// New builds a controller by name: "ucp" (utility-based, UMON-driven) or
+// "theft" (CASHT-style, driven by the cache's own theft counters).
+func New(name string, cores int) (Controller, error) {
+	switch name {
+	case "ucp":
+		return &UCP{cores: cores}, nil
+	case "theft":
+		return &Theft{cores: cores}, nil
+	}
+	return nil, fmt.Errorf("partition: unknown controller %q", name)
+}
+
+// Names lists available controllers.
+func Names() []string { return []string{"ucp", "theft"} }
+
+// contiguousMasks converts a per-core way count allocation into
+// contiguous, disjoint way masks covering the cache.
+func contiguousMasks(alloc []int) []uint64 {
+	masks := make([]uint64, len(alloc))
+	start := 0
+	for i, n := range alloc {
+		masks[i] = (uint64(1)<<uint(n) - 1) << uint(start)
+		start += n
+	}
+	return masks
+}
+
+// UCP is utility-based cache partitioning: each core gets a UMON; at
+// each Reallocate the greedy lookahead assigns ways to whichever core
+// gains the most hits per way.
+type UCP struct {
+	cores int
+	umons []*UMON
+}
+
+// Name implements Controller.
+func (u *UCP) Name() string { return "ucp" }
+
+// Attach implements Controller: one UMON per core fed by the cache's
+// access observer.
+func (u *UCP) Attach(llc *cache.Cache) {
+	u.umons = make([]*UMON, u.cores)
+	for i := range u.umons {
+		m, err := NewUMON(llc.Sets(), llc.Ways(), 0)
+		if err != nil {
+			// Geometry was validated by the cache itself; an error
+			// here is a programming bug.
+			panic(err)
+		}
+		u.umons[i] = m
+	}
+	llc.SetAccessObserver(func(addr uint64, core int, hit bool) {
+		if core < len(u.umons) {
+			u.umons[core].Observe(addr)
+		}
+	})
+}
+
+// Reallocate implements Controller via greedy lookahead (the UCP paper's
+// algorithm restricted to its greedy step, which is exact for concave
+// utility curves).
+func (u *UCP) Reallocate(llc *cache.Cache) []uint64 {
+	ways := llc.Ways()
+	utils := make([][]uint64, u.cores)
+	for i, m := range u.umons {
+		utils[i] = m.Utility()
+	}
+	alloc := make([]int, u.cores)
+	// Every core starts with one way.
+	remaining := ways
+	for i := range alloc {
+		alloc[i] = 1
+		remaining--
+	}
+	gain := func(core int) uint64 {
+		have := alloc[core]
+		if have >= ways {
+			return 0
+		}
+		cur := utils[core][have-1]
+		next := utils[core][have]
+		return next - cur
+	}
+	for ; remaining > 0; remaining-- {
+		best, bestGain := -1, uint64(0)
+		for c := 0; c < u.cores; c++ {
+			if g := gain(c); best < 0 || g > bestGain {
+				best, bestGain = c, g
+			}
+		}
+		alloc[best]++
+	}
+	for _, m := range u.umons {
+		m.Halve()
+	}
+	return contiguousMasks(alloc)
+}
+
+// Theft is the CASHT-style controller: instead of shadow tags it reads
+// the theft counters the cache already maintains. A core suffering
+// thefts is losing useful capacity to its neighbours, so ways shift
+// toward cores with high experienced-theft rates and away from cores
+// that cause thefts without suffering them (streamers).
+type Theft struct {
+	cores int
+	// prev snapshots cumulative counters so each epoch uses deltas.
+	prevExp    []uint64
+	prevAcc    []uint64
+	prevAlloc  []int
+	MinPerCore int // 0 means 1
+}
+
+// Name implements Controller.
+func (t *Theft) Name() string { return "theft" }
+
+// Attach implements Controller; the theft controller needs no monitors —
+// that is its entire cost argument.
+func (t *Theft) Attach(llc *cache.Cache) {
+	t.prevExp = make([]uint64, t.cores)
+	t.prevAcc = make([]uint64, t.cores)
+}
+
+// Reallocate implements Controller: ways are distributed proportionally
+// to each core's experienced-theft rate this epoch (with a floor), so
+// victims regain capacity; with no thefts anywhere the allocation is
+// even.
+func (t *Theft) Reallocate(llc *cache.Cache) []uint64 {
+	ways := llc.Ways()
+	minWays := t.MinPerCore
+	if minWays == 0 {
+		minWays = 1
+	}
+	rates := make([]float64, t.cores)
+	var total float64
+	for c := 0; c < t.cores; c++ {
+		exp := llc.Stats.TheftsExperienced[c] - t.prevExp[c]
+		acc := llc.Stats.Accesses[c] - t.prevAcc[c]
+		t.prevExp[c] = llc.Stats.TheftsExperienced[c]
+		t.prevAcc[c] = llc.Stats.Accesses[c]
+		if acc > 0 {
+			rates[c] = float64(exp) / float64(acc)
+		}
+		total += rates[c]
+	}
+	alloc := make([]int, t.cores)
+	if total == 0 {
+		// No thefts this epoch. If a partition is already in force it
+		// is the likely reason — keep it (reverting to an even split
+		// would reopen the contention it just closed). Before any
+		// signal exists, share evenly.
+		if t.prevAlloc != nil {
+			return contiguousMasks(t.prevAlloc)
+		}
+		for c := range alloc {
+			alloc[c] = ways / t.cores
+		}
+		for extra := ways - (ways/t.cores)*t.cores; extra > 0; extra-- {
+			alloc[extra-1]++
+		}
+		t.prevAlloc = alloc
+		return contiguousMasks(alloc)
+	}
+	// Proportional target with a floor.
+	assigned := 0
+	for c := range alloc {
+		share := int(rates[c] / total * float64(ways-minWays*t.cores))
+		alloc[c] = minWays + share
+		assigned += alloc[c]
+	}
+	// Distribute rounding leftovers to the highest-rate cores.
+	leftRates := append([]float64(nil), rates...)
+	for assigned < ways {
+		best := 0
+		for c := range leftRates {
+			if leftRates[c] > leftRates[best] {
+				best = c
+			}
+		}
+		alloc[best]++
+		assigned++
+		leftRates[best] /= 2 // spread further leftovers
+	}
+	// Hysteresis: move at most one way per epoch toward the target.
+	// Re-partitioning shifts boundary ways whose resident blocks then
+	// get stolen by their new owner; jumping straight to the target
+	// every epoch keeps those transient thefts alive and the boundary
+	// oscillating.
+	if t.prevAlloc != nil {
+		stepped := append([]int(nil), t.prevAlloc...)
+		give, take := -1, -1
+		for c := range alloc {
+			if alloc[c] > stepped[c] && (take < 0 || alloc[c]-stepped[c] > alloc[take]-stepped[take]) {
+				take = c
+			}
+			if alloc[c] < stepped[c] && (give < 0 || stepped[c]-alloc[c] > stepped[give]-alloc[give]) {
+				give = c
+			}
+		}
+		if give >= 0 && take >= 0 {
+			stepped[give]--
+			stepped[take]++
+		}
+		alloc = stepped
+	}
+	t.prevAlloc = alloc
+	return contiguousMasks(alloc)
+}

@@ -1,0 +1,264 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestNewUMONValidation(t *testing.T) {
+	if _, err := NewUMON(0, 16, 0); err == nil {
+		t.Error("zero sets accepted")
+	}
+	if _, err := NewUMON(100, 16, 32); err == nil {
+		t.Error("non-divisible sampling accepted")
+	}
+	if _, err := NewUMON(4096, 16, 0); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}
+
+func TestUMONStackHitPositions(t *testing.T) {
+	// One sampled set (sampling 1 on a 1-set geometry keeps every
+	// access observable).
+	u, err := NewUMON(1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := func(i int) uint64 { return uint64(i) * 64 }
+	// Fill A, B, C, D → all misses.
+	for i := 1; i <= 4; i++ {
+		u.Observe(a(i))
+	}
+	if u.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", u.Misses)
+	}
+	// Re-touch D (MRU): position 0.
+	u.Observe(a(4))
+	if u.Hits[0] != 1 {
+		t.Fatalf("hits = %v, want position 0 hit", u.Hits)
+	}
+	// Touch A (now LRU-most): position 3.
+	u.Observe(a(1))
+	if u.Hits[3] != 1 {
+		t.Fatalf("hits = %v, want position 3 hit", u.Hits)
+	}
+	// E misses and displaces the LRU; B is gone.
+	u.Observe(a(5))
+	prevMisses := u.Misses
+	u.Observe(a(2))
+	if u.Misses != prevMisses+1 {
+		t.Fatal("displaced block still hit")
+	}
+}
+
+func TestUMONUtilityMonotonic(t *testing.T) {
+	u, err := NewUMON(64, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100_000; i++ {
+		u.Observe(uint64(rng.IntN(4096)) * 64)
+	}
+	util := u.Utility()
+	for i := 1; i < len(util); i++ {
+		if util[i] < util[i-1] {
+			t.Fatalf("utility not monotone: %v", util)
+		}
+	}
+	if util[len(util)-1] == 0 {
+		t.Fatal("no hits recorded on a reusing stream")
+	}
+}
+
+func TestUMONSamplingIgnoresOtherSets(t *testing.T) {
+	u, err := NewUMON(64, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set index = block % 64; sampled sets are multiples of 32.
+	u.Observe(5 * 64) // set 5: ignored
+	if u.Misses != 0 {
+		t.Fatal("unsampled set observed")
+	}
+	u.Observe(32 * 64) // set 32: sampled
+	if u.Misses != 1 {
+		t.Fatal("sampled set ignored")
+	}
+}
+
+func TestUMONHalve(t *testing.T) {
+	u, _ := NewUMON(1, 4, 1)
+	for i := 1; i <= 4; i++ {
+		u.Observe(uint64(i) * 64)
+	}
+	u.Observe(64) // one hit
+	u.Halve()
+	if u.Misses != 2 {
+		t.Fatalf("misses after halve = %d", u.Misses)
+	}
+}
+
+func TestContiguousMasks(t *testing.T) {
+	masks := contiguousMasks([]int{3, 5, 8})
+	if masks[0] != 0b111 {
+		t.Errorf("mask0 = %#b", masks[0])
+	}
+	if masks[1] != 0b11111000 {
+		t.Errorf("mask1 = %#b", masks[1])
+	}
+	if masks[2] != 0xFF00 {
+		t.Errorf("mask2 = %#x", masks[2])
+	}
+	// Disjoint and covering.
+	if masks[0]&masks[1] != 0 || masks[1]&masks[2] != 0 {
+		t.Error("masks overlap")
+	}
+	if masks[0]|masks[1]|masks[2] != 0xFFFF {
+		t.Error("masks do not cover 16 ways")
+	}
+}
+
+func demoLLC(cores int) *cache.Cache {
+	return cache.MustNew(cache.Config{
+		Name:      "llc",
+		SizeBytes: 64 * 16 * cache.BlockBytes, // 64 sets × 16 ways
+		Ways:      16,
+		Cores:     cores,
+	})
+}
+
+func TestNewControllers(t *testing.T) {
+	for _, n := range Names() {
+		c, err := New(n, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if c.Name() != n {
+			t.Errorf("%s reports %s", n, c.Name())
+		}
+	}
+	if _, err := New("static", 2); err == nil {
+		t.Error("unknown controller accepted")
+	}
+}
+
+// validMasks asserts the controller contract: per-core masks, disjoint,
+// covering, each non-empty.
+func validMasks(t *testing.T, masks []uint64, cores, ways int) {
+	t.Helper()
+	if len(masks) != cores {
+		t.Fatalf("got %d masks for %d cores", len(masks), cores)
+	}
+	var union uint64
+	for i, m := range masks {
+		if m == 0 {
+			t.Fatalf("core %d got an empty partition", i)
+		}
+		if union&m != 0 {
+			t.Fatalf("mask %d overlaps earlier cores", i)
+		}
+		union |= m
+	}
+	if union != uint64(1)<<uint(ways)-1 {
+		t.Fatalf("masks do not cover the cache: %#x", union)
+	}
+}
+
+func TestUCPFavoursTheReuser(t *testing.T) {
+	llc := demoLLC(2)
+	ctrl, err := New("ucp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Attach(llc)
+	rng := rand.New(rand.NewPCG(3, 3))
+	// Core 0 reuses a working set sized ~8 ways of the sampled sets;
+	// core 1 streams (no reuse).
+	for i := 0; i < 400_000; i++ {
+		if i%2 == 0 {
+			addr := uint64(rng.IntN(64*8)) * cache.BlockBytes
+			llc.Lookup(addr, 0, false)
+		} else {
+			addr := uint64(1)<<30 + uint64(i)*cache.BlockBytes
+			llc.Lookup(addr, 1, false)
+		}
+	}
+	masks := ctrl.Reallocate(llc)
+	validMasks(t, masks, 2, 16)
+	w0 := popcount(masks[0])
+	w1 := popcount(masks[1])
+	if w0 <= w1 {
+		t.Fatalf("UCP gave the streamer %d ways vs %d for the reuser", w1, w0)
+	}
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+func TestTheftControllerShieldsVictim(t *testing.T) {
+	llc := demoLLC(2)
+	ctrl, err := New("theft", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Attach(llc)
+	rng := rand.New(rand.NewPCG(4, 4))
+	// Core 0 holds a modest set; core 1 floods, stealing from core 0.
+	fill := func(addr uint64, core int) {
+		if !llc.Lookup(addr, core, false) {
+			llc.Fill(addr, core, false, false)
+		}
+	}
+	for i := 0; i < 50_000; i++ {
+		fill(uint64(rng.IntN(64*4))*cache.BlockBytes, 0)
+		fill(uint64(1)<<30+uint64(i)*cache.BlockBytes, 1)
+		fill(uint64(1)<<31+uint64(i)*cache.BlockBytes, 1)
+	}
+	if llc.Stats.TheftsExperienced[0] == 0 {
+		t.Fatal("no thefts against the victim; scenario broken")
+	}
+	masks := ctrl.Reallocate(llc)
+	validMasks(t, masks, 2, 16)
+	if popcount(masks[0]) <= popcount(masks[1]) {
+		t.Fatalf("theft controller gave the aggressor more ways: %d vs %d",
+			popcount(masks[1]), popcount(masks[0]))
+	}
+}
+
+func TestTheftControllerEvenWithoutContention(t *testing.T) {
+	llc := demoLLC(2)
+	ctrl, _ := New("theft", 2)
+	ctrl.Attach(llc)
+	masks := ctrl.Reallocate(llc)
+	validMasks(t, masks, 2, 16)
+	if popcount(masks[0]) != popcount(masks[1]) {
+		t.Fatalf("no-contention allocation uneven: %d vs %d",
+			popcount(masks[0]), popcount(masks[1]))
+	}
+}
+
+func TestUCPMasksValidManyCores(t *testing.T) {
+	for cores := 2; cores <= 4; cores++ {
+		llc := demoLLC(cores)
+		ctrl, err := New("ucp", cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.Attach(llc)
+		rng := rand.New(rand.NewPCG(uint64(cores), 5))
+		for i := 0; i < 50_000; i++ {
+			core := rng.IntN(cores)
+			addr := uint64(core)<<30 + uint64(rng.IntN(2048))*cache.BlockBytes
+			llc.Lookup(addr, core, false)
+		}
+		validMasks(t, ctrl.Reallocate(llc), cores, 16)
+	}
+}

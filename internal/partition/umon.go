@@ -1,0 +1,116 @@
+// Package partition implements dynamic shared-LLC way partitioning — the
+// contention-aware architecture class the PInTE paper positions itself as
+// enabling (§VII-d): utility-based cache partitioning (UCP, Qureshi &
+// Patt MICRO'06) driven by UMON set-sampled shadow tags, and a
+// CASHT-style controller driven by the theft counters the cache already
+// maintains, "comparable to UCP but at a fraction of the cost".
+//
+// Controllers observe the shared cache and periodically return fresh
+// per-core way masks; the simulation driver applies them with
+// cache.SetWayPartition.
+package partition
+
+import "fmt"
+
+// UMON is one core's utility monitor: an auxiliary tag directory over a
+// sampled subset of sets, managed with true LRU and full associativity,
+// counting hits per stack position. Position counters estimate the
+// marginal utility of granting the core 1..ways ways (Qureshi & Patt's
+// UMON-DSS).
+type UMON struct {
+	ways     int
+	sampling int // observe every sampling-th set
+	setBits  uint
+	sets     int // sampled sets
+
+	tags  []uint64 // sets*ways, LRU-ordered per set: index 0 = MRU
+	valid []bool
+
+	// Hits[p] counts hits at stack position p; Misses counts sampled
+	// accesses that missed the shadow directory.
+	Hits   []uint64
+	Misses uint64
+}
+
+// NewUMON builds a monitor for a cache with the given geometry. sampling
+// 0 selects every 32nd set, the classic UMON-DSS ratio.
+func NewUMON(cacheSets, ways, sampling int) (*UMON, error) {
+	if sampling == 0 {
+		sampling = 32
+	}
+	if cacheSets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("partition: UMON geometry %dx%d invalid", cacheSets, ways)
+	}
+	if cacheSets%sampling != 0 {
+		return nil, fmt.Errorf("partition: %d sets not divisible by sampling %d", cacheSets, sampling)
+	}
+	sets := cacheSets / sampling
+	setBits := uint(0)
+	for 1<<setBits < cacheSets {
+		setBits++
+	}
+	return &UMON{
+		ways:     ways,
+		sampling: sampling,
+		setBits:  setBits,
+		sets:     sets,
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		Hits:     make([]uint64, ways),
+	}, nil
+}
+
+// Observe feeds one demand access. Addresses whose set is not sampled
+// are ignored.
+func (u *UMON) Observe(addr uint64) {
+	blk := addr / 64
+	cacheSet := int(blk & (uint64(1)<<u.setBits - 1))
+	if cacheSet%u.sampling != 0 {
+		return
+	}
+	set := cacheSet / u.sampling
+	tag := blk >> u.setBits
+	base := set * u.ways
+
+	// Search the LRU stack.
+	pos := -1
+	for w := 0; w < u.ways; w++ {
+		if u.valid[base+w] && u.tags[base+w] == tag {
+			pos = w
+			break
+		}
+	}
+	if pos >= 0 {
+		u.Hits[pos]++
+	} else {
+		u.Misses++
+		pos = u.ways - 1 // insert displaces the LRU slot
+	}
+	// Move to MRU, shifting the intervening entries down.
+	copy(u.tags[base+1:base+pos+1], u.tags[base:base+pos])
+	copy(u.valid[base+1:base+pos+1], u.valid[base:base+pos])
+	u.tags[base] = tag
+	u.valid[base] = true
+}
+
+// Utility returns the cumulative hits the core would have received with
+// n ways, for n in 1..ways (index 0 = 1 way). The LRU stack-inclusion
+// property makes the prefix sum exact for this sampled stream.
+func (u *UMON) Utility() []uint64 {
+	out := make([]uint64, u.ways)
+	var cum uint64
+	for i := 0; i < u.ways; i++ {
+		cum += u.Hits[i]
+		out[i] = cum
+	}
+	return out
+}
+
+// Halve decays all counters by half (the standard epoch decay, keeping
+// the monitor responsive to phase changes).
+func (u *UMON) Halve() {
+	for i := range u.Hits {
+		u.Hits[i] /= 2
+	}
+	u.Misses /= 2
+}

@@ -1,0 +1,163 @@
+// Package prefetch implements the hardware prefetchers the PInTE case
+// study permutes: next-line prefetching (available at L1 and L2) and an
+// IP-stride prefetcher (L2). Configurations are named with the paper's
+// three-character string over {L1I, L1D, L2}: "000", "NN0", "NNN", "NNI".
+package prefetch
+
+import "fmt"
+
+// Prefetcher observes demand accesses at one cache level and proposes
+// prefetch addresses. Implementations append candidate block-aligned
+// addresses to out and return the extended slice.
+type Prefetcher interface {
+	Name() string
+	OnAccess(pc, addr uint64, miss bool, out []uint64) []uint64
+}
+
+// None is the absent prefetcher.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (None) OnAccess(pc, addr uint64, miss bool, out []uint64) []uint64 { return out }
+
+// NextLine prefetches the next sequential block on every demand miss and
+// every first-touch of a prefetched block.
+type NextLine struct {
+	// Degree is how many sequential blocks to prefetch; 0 means 1.
+	Degree int
+}
+
+// Name implements Prefetcher.
+func (p *NextLine) Name() string { return "next-line" }
+
+// OnAccess implements Prefetcher.
+func (p *NextLine) OnAccess(pc, addr uint64, miss bool, out []uint64) []uint64 {
+	if !miss {
+		return out
+	}
+	deg := p.Degree
+	if deg == 0 {
+		deg = 1
+	}
+	blk := addr &^ uint64(63)
+	for i := 1; i <= deg; i++ {
+		out = append(out, blk+uint64(i)*64)
+	}
+	return out
+}
+
+// IPStride tracks per-PC strides and prefetches ahead once a stride has
+// been confirmed twice (the classic confidence-2 stride table).
+type IPStride struct {
+	// Entries is the table size (power of two); 0 means 1024.
+	Entries int
+	// Degree is how many strides ahead to prefetch; 0 means 2.
+	Degree int
+
+	table []ipEntry
+}
+
+type ipEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int8
+}
+
+// Name implements Prefetcher.
+func (p *IPStride) Name() string { return "ip-stride" }
+
+func (p *IPStride) init() {
+	if p.table != nil {
+		return
+	}
+	n := p.Entries
+	if n == 0 {
+		n = 1024
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("prefetch: IPStride entries %d not a power of two", n))
+	}
+	p.table = make([]ipEntry, n)
+}
+
+// OnAccess implements Prefetcher.
+func (p *IPStride) OnAccess(pc, addr uint64, miss bool, out []uint64) []uint64 {
+	p.init()
+	e := &p.table[(pc>>2)&uint64(len(p.table)-1)]
+	if e.pc != pc {
+		*e = ipEntry{pc: pc, lastAddr: addr}
+		return out
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		return out
+	}
+	if stride == e.stride {
+		if e.conf < 2 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return out
+	}
+	if e.conf < 2 {
+		return out
+	}
+	deg := p.Degree
+	if deg == 0 {
+		deg = 2
+	}
+	next := int64(addr)
+	for i := 0; i < deg; i++ {
+		next += stride
+		if next <= 0 {
+			break
+		}
+		out = append(out, uint64(next)&^uint64(63))
+	}
+	return out
+}
+
+// Config names a prefetcher permutation using the paper's L1I/L1D/L2
+// string: '0' = none, 'N' = next line, 'I' = IP stride.
+type Config struct {
+	Code string // "000", "NN0", "NNN", "NNI"
+}
+
+// Configs lists the four permutations the case study evaluates.
+func Configs() []string { return []string{"000", "NN0", "NNN", "NNI"} }
+
+// Build returns fresh prefetcher instances for the L1I, L1D and L2
+// positions of code.
+func Build(code string) (l1i, l1d, l2 Prefetcher, err error) {
+	if len(code) != 3 {
+		return nil, nil, nil, fmt.Errorf("prefetch: config %q must have 3 characters", code)
+	}
+	mk := func(c byte) (Prefetcher, error) {
+		switch c {
+		case '0':
+			return None{}, nil
+		case 'N':
+			return &NextLine{}, nil
+		case 'I':
+			return &IPStride{}, nil
+		}
+		return nil, fmt.Errorf("prefetch: unknown prefetcher code %q", string(c))
+	}
+	if l1i, err = mk(code[0]); err != nil {
+		return nil, nil, nil, err
+	}
+	if l1d, err = mk(code[1]); err != nil {
+		return nil, nil, nil, err
+	}
+	if l2, err = mk(code[2]); err != nil {
+		return nil, nil, nil, err
+	}
+	return l1i, l1d, l2, nil
+}

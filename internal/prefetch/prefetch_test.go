@@ -1,0 +1,127 @@
+package prefetch
+
+import "testing"
+
+func TestNextLineOnMissOnly(t *testing.T) {
+	p := &NextLine{}
+	if out := p.OnAccess(0x40, 0x1000, false, nil); len(out) != 0 {
+		t.Fatalf("next-line prefetched on a hit: %v", out)
+	}
+	out := p.OnAccess(0x40, 0x1000, true, nil)
+	if len(out) != 1 || out[0] != 0x1040 {
+		t.Fatalf("next-line candidates = %#v, want [0x1040]", out)
+	}
+}
+
+func TestNextLineDegree(t *testing.T) {
+	p := &NextLine{Degree: 3}
+	out := p.OnAccess(0x40, 0x2008, true, nil)
+	want := []uint64{0x2040, 0x2080, 0x20c0}
+	if len(out) != len(want) {
+		t.Fatalf("got %d candidates, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("candidate %d = %#x, want %#x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestIPStrideNeedsConfidence(t *testing.T) {
+	p := &IPStride{}
+	pc := uint64(0x400)
+	// First access: allocate entry. Second: stride observed, conf 0.
+	// Third: conf 1. Fourth: conf 2 → prefetch.
+	addrs := []uint64{0x1000, 0x1100, 0x1200, 0x1300}
+	var out []uint64
+	for i, a := range addrs {
+		out = p.OnAccess(pc, a, true, nil)
+		if i < 3 && len(out) != 0 {
+			t.Fatalf("prefetched at access %d before confidence: %v", i, out)
+		}
+	}
+	if len(out) != 2 {
+		t.Fatalf("confident stride issued %d candidates, want 2", len(out))
+	}
+	if out[0] != 0x1400 || out[1] != 0x1500 {
+		t.Fatalf("candidates = %#v, want [0x1400 0x1500]", out)
+	}
+}
+
+func TestIPStrideResetsOnStrideChange(t *testing.T) {
+	p := &IPStride{}
+	pc := uint64(0x404)
+	for _, a := range []uint64{0x1000, 0x1100, 0x1200, 0x1300} {
+		p.OnAccess(pc, a, true, nil)
+	}
+	// Break the stride: confidence must reset.
+	if out := p.OnAccess(pc, 0x9000, true, nil); len(out) != 0 {
+		t.Fatalf("prefetched across a stride break: %v", out)
+	}
+	if out := p.OnAccess(pc, 0x9100, true, nil); len(out) != 0 {
+		t.Fatal("prefetched with conf 0 after reset")
+	}
+}
+
+func TestIPStrideNegativeStride(t *testing.T) {
+	p := &IPStride{}
+	pc := uint64(0x408)
+	var out []uint64
+	for _, a := range []uint64{0x5000, 0x4f00, 0x4e00, 0x4d00} {
+		out = p.OnAccess(pc, a, true, nil)
+	}
+	if len(out) == 0 {
+		t.Fatal("negative stride never prefetched")
+	}
+	if out[0] != 0x4c00&^uint64(63) {
+		t.Fatalf("candidate = %#x, want %#x", out[0], uint64(0x4c00))
+	}
+}
+
+func TestIPStrideDistinctPCs(t *testing.T) {
+	p := &IPStride{}
+	// Interleaved streams from two PCs must train independently.
+	var outA, outB []uint64
+	for i := 0; i < 4; i++ {
+		outA = p.OnAccess(0x500, uint64(0x10000+i*0x80), true, nil)
+		outB = p.OnAccess(0x600, uint64(0x20000+i*0x40), true, nil)
+	}
+	if len(outA) == 0 || len(outB) == 0 {
+		t.Fatalf("interleaved streams not learned: %v / %v", outA, outB)
+	}
+}
+
+func TestBuildConfigs(t *testing.T) {
+	for _, code := range Configs() {
+		l1i, l1d, l2, err := Build(code)
+		if err != nil {
+			t.Fatalf("%s: %v", code, err)
+		}
+		for i, p := range []Prefetcher{l1i, l1d, l2} {
+			if p == nil {
+				t.Fatalf("%s: position %d nil", code, i)
+			}
+		}
+	}
+	if _, _, _, err := Build("N"); err == nil {
+		t.Error("short config accepted")
+	}
+	if _, _, _, err := Build("XXX"); err == nil {
+		t.Error("unknown prefetcher code accepted")
+	}
+	// Spot-check wiring: NNI puts IP-stride at L2.
+	_, _, l2, err := Build("NNI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Name() != "ip-stride" {
+		t.Errorf("NNI L2 prefetcher = %s, want ip-stride", l2.Name())
+	}
+}
+
+func TestNoneIsInert(t *testing.T) {
+	var p None
+	if out := p.OnAccess(0x40, 0x1000, true, nil); len(out) != 0 {
+		t.Fatal("None prefetched")
+	}
+}

@@ -1,0 +1,78 @@
+package replacement
+
+// LRU is true least-recently-used replacement: a per-block timestamp
+// records the last touch; the victim is the oldest block.
+type LRU struct {
+	ways  int
+	age   []uint64 // sets*ways timestamps
+	clock uint64
+}
+
+// NewLRU returns an LRU policy; call Reset before use.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Reset implements Policy.
+func (p *LRU) Reset(sets, ways int) {
+	p.ways = ways
+	p.age = make([]uint64, sets*ways)
+	p.clock = 1
+}
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.age[set*p.ways+way] = p.clock
+}
+
+// OnFill implements Policy.
+func (p *LRU) OnFill(set, way int) { p.touch(set, way) }
+
+// OnHit implements Policy.
+func (p *LRU) OnHit(set, way int) { p.touch(set, way) }
+
+// Promote implements Policy.
+func (p *LRU) Promote(set, way int) { p.touch(set, way) }
+
+// OnInvalidate implements Policy. The slot keeps its age; the cache
+// prefers invalid ways before asking for a victim, so stale ages on
+// invalid slots are harmless.
+func (p *LRU) OnInvalidate(set, way int) {}
+
+// Victim implements Policy: the way with the oldest timestamp.
+func (p *LRU) Victim(set int) int {
+	base := set * p.ways
+	best, bestAge := 0, p.age[base]
+	for w := 1; w < p.ways; w++ {
+		if a := p.age[base+w]; a < bestAge {
+			best, bestAge = w, a
+		}
+	}
+	return best
+}
+
+// AtStackEnd implements Policy: true for the oldest way.
+func (p *LRU) AtStackEnd(set, way int) bool {
+	base := set * p.ways
+	a := p.age[base+way]
+	for w := 0; w < p.ways; w++ {
+		if w != way && p.age[base+w] < a {
+			return false
+		}
+	}
+	return true
+}
+
+// HitPosition implements Policy: the number of ways younger than way.
+func (p *LRU) HitPosition(set, way int) int {
+	base := set * p.ways
+	a := p.age[base+way]
+	pos := 0
+	for w := 0; w < p.ways; w++ {
+		if w != way && p.age[base+w] > a {
+			pos++
+		}
+	}
+	return pos
+}

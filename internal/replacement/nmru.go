@@ -1,0 +1,74 @@
+package replacement
+
+import "math/rand/v2"
+
+// NMRU is not-most-recently-used replacement: it protects only the single
+// most recently touched block per set and victimises a uniformly random
+// other way. The paper groups it with "recency" policies (sensitive to
+// contention frequency rather than data movement).
+type NMRU struct {
+	ways int
+	mru  []int32
+	rng  *rand.Rand
+}
+
+// NewNMRU returns an nMRU policy whose random victim stream is seeded by
+// seed; call Reset before use.
+func NewNMRU(seed uint64) *NMRU {
+	return &NMRU{rng: rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))}
+}
+
+// Name implements Policy.
+func (p *NMRU) Name() string { return "nmru" }
+
+// Reset implements Policy.
+func (p *NMRU) Reset(sets, ways int) {
+	p.ways = ways
+	p.mru = make([]int32, sets)
+	for i := range p.mru {
+		p.mru[i] = -1
+	}
+}
+
+// OnFill implements Policy.
+func (p *NMRU) OnFill(set, way int) { p.mru[set] = int32(way) }
+
+// OnHit implements Policy.
+func (p *NMRU) OnHit(set, way int) { p.mru[set] = int32(way) }
+
+// Promote implements Policy.
+func (p *NMRU) Promote(set, way int) { p.mru[set] = int32(way) }
+
+// OnInvalidate implements Policy: an invalidated MRU block loses its
+// protection.
+func (p *NMRU) OnInvalidate(set, way int) {
+	if p.mru[set] == int32(way) {
+		p.mru[set] = -1
+	}
+}
+
+// Victim implements Policy: a uniformly random non-MRU way.
+func (p *NMRU) Victim(set int) int {
+	mru := int(p.mru[set])
+	if p.ways == 1 {
+		return 0
+	}
+	w := p.rng.IntN(p.ways - 1)
+	if w >= mru && mru >= 0 {
+		w++
+	}
+	return w
+}
+
+// AtStackEnd implements Policy: every non-MRU block is a victim
+// candidate, so PInTE may inject on any of them.
+func (p *NMRU) AtStackEnd(set, way int) bool { return int(p.mru[set]) != way }
+
+// HitPosition implements Policy. nMRU orders only {MRU, everything else};
+// non-MRU hits report the middle of the stack as their position.
+func (p *NMRU) HitPosition(set, way int) int {
+	if int(p.mru[set]) == way {
+		return 0
+	}
+	return p.ways / 2
+}

@@ -1,0 +1,279 @@
+package replacement
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newPolicy(t *testing.T, name string, sets, ways int) Policy {
+	t.Helper()
+	p := MustNew(name, 42)
+	p.Reset(sets, ways)
+	return p
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("fifo", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestNamesConstructible(t *testing.T) {
+	for _, n := range Names() {
+		p := MustNew(n, 1)
+		if p.Name() != n {
+			t.Errorf("policy %q reports name %q", n, p.Name())
+		}
+		p.Reset(4, 8)
+	}
+}
+
+// TestVictimInRange: for every policy, Victim always returns a legal way.
+func TestVictimInRange(t *testing.T) {
+	for _, name := range Names() {
+		p := newPolicy(t, name, 16, 8)
+		rng := rand.New(rand.NewPCG(7, 7))
+		for i := 0; i < 10_000; i++ {
+			set := rng.IntN(16)
+			switch rng.IntN(3) {
+			case 0:
+				p.OnFill(set, rng.IntN(8))
+			case 1:
+				p.OnHit(set, rng.IntN(8))
+			case 2:
+				v := p.Victim(set)
+				if v < 0 || v >= 8 {
+					t.Fatalf("%s: victim %d out of range", name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestStackEndExists: after arbitrary activity, at least one way is at
+// the stack end (PInTE's BLOCK-SELECT must be able to find a target),
+// and the victim is always at the stack end.
+func TestStackEndExists(t *testing.T) {
+	for _, name := range Names() {
+		p := newPolicy(t, name, 8, 8)
+		rng := rand.New(rand.NewPCG(9, 9))
+		for i := 0; i < 5_000; i++ {
+			set := rng.IntN(8)
+			if rng.IntN(2) == 0 {
+				p.OnFill(set, rng.IntN(8))
+			} else {
+				p.OnHit(set, rng.IntN(8))
+			}
+			found := false
+			for w := 0; w < 8; w++ {
+				if p.AtStackEnd(set, w) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: no way at stack end after op %d", name, i)
+			}
+			if name == "nmru" {
+				continue // nMRU victims are random among non-MRU
+			}
+			if v := p.Victim(set); !p.AtStackEnd(set, v) {
+				t.Fatalf("%s: victim %d not at stack end", name, v)
+			}
+		}
+	}
+}
+
+// TestPromoteRemovesFromStackEnd: promoting a block moves it away from
+// the eviction end (for policies with more than a two-level order).
+func TestPromoteRemovesFromStackEnd(t *testing.T) {
+	for _, name := range []string{"lru", "plru", "rrip"} {
+		p := newPolicy(t, name, 1, 8)
+		for w := 0; w < 8; w++ {
+			p.OnFill(0, w)
+		}
+		v := p.Victim(0)
+		p.Promote(0, v)
+		if p.AtStackEnd(0, v) {
+			t.Errorf("%s: way %d still at stack end after Promote", name, v)
+		}
+	}
+}
+
+func TestLRUExactOrder(t *testing.T) {
+	p := newPolicy(t, "lru", 1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w)
+	}
+	// Touch order: 0, 2 → LRU order now 1, 3, 0, 2.
+	p.OnHit(0, 0)
+	p.OnHit(0, 2)
+	if v := p.Victim(0); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+	if pos := p.HitPosition(0, 2); pos != 0 {
+		t.Errorf("most recent way position = %d, want 0", pos)
+	}
+	if pos := p.HitPosition(0, 1); pos != 3 {
+		t.Errorf("oldest way position = %d, want 3", pos)
+	}
+}
+
+// TestLRUHitPositionPermutation: positions form a permutation of 0..ways-1.
+func TestLRUHitPositionPermutation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := MustNew("lru", 1)
+		const ways = 8
+		p.Reset(1, ways)
+		for w := 0; w < ways; w++ {
+			p.OnFill(0, w)
+		}
+		for _, op := range ops {
+			p.OnHit(0, int(op)%ways)
+		}
+		seen := map[int]bool{}
+		for w := 0; w < ways; w++ {
+			pos := p.HitPosition(0, w)
+			if pos < 0 || pos >= ways || seen[pos] {
+				return false
+			}
+			seen[pos] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPLRUVictimAvoidsRecentlyTouched(t *testing.T) {
+	p := newPolicy(t, "plru", 1, 8)
+	for w := 0; w < 8; w++ {
+		p.OnFill(0, w)
+	}
+	for i := 0; i < 100; i++ {
+		w := i % 8
+		p.OnHit(0, w)
+		if v := p.Victim(0); v == w {
+			t.Fatalf("pLRU victimised the just-touched way %d", w)
+		}
+	}
+}
+
+func TestPLRURequiresPowerOfTwoWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pLRU accepted 6 ways")
+		}
+	}()
+	MustNew("plru", 1).Reset(4, 6)
+}
+
+func TestPLRUHitPositionBounds(t *testing.T) {
+	p := newPolicy(t, "plru", 2, 16)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 5000; i++ {
+		set := rng.IntN(2)
+		w := rng.IntN(16)
+		p.OnHit(set, w)
+		if pos := p.HitPosition(set, w); pos != 0 {
+			t.Fatalf("just-touched way at position %d, want 0", pos)
+		}
+		v := p.Victim(set)
+		if pos := p.HitPosition(set, v); pos != 15 {
+			t.Fatalf("victim way at position %d, want 15", pos)
+		}
+	}
+}
+
+func TestNMRUNeverEvictsMRU(t *testing.T) {
+	p := newPolicy(t, "nmru", 1, 8)
+	rng := rand.New(rand.NewPCG(11, 11))
+	for i := 0; i < 10_000; i++ {
+		w := rng.IntN(8)
+		p.OnHit(0, w)
+		if v := p.Victim(0); v == w {
+			t.Fatalf("nMRU victimised the MRU way %d", w)
+		}
+		if p.AtStackEnd(0, w) {
+			t.Fatal("MRU way reported at stack end")
+		}
+	}
+}
+
+func TestNMRUVictimsSpread(t *testing.T) {
+	p := newPolicy(t, "nmru", 1, 8)
+	p.OnHit(0, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[p.Victim(0)] = true
+	}
+	if len(seen) < 7 {
+		t.Errorf("nMRU victims covered only %d of 7 candidate ways", len(seen))
+	}
+}
+
+func TestNMRUInvalidateClearsProtection(t *testing.T) {
+	p := newPolicy(t, "nmru", 1, 4)
+	p.OnHit(0, 2)
+	p.OnInvalidate(0, 2)
+	if !p.AtStackEnd(0, 2) {
+		t.Fatal("invalidated MRU still protected")
+	}
+}
+
+func TestRRIPInsertionAndPromotion(t *testing.T) {
+	p := newPolicy(t, "rrip", 1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w)
+	}
+	// All at RRPV 2 — every way is a stack-end candidate.
+	for w := 0; w < 4; w++ {
+		if !p.AtStackEnd(0, w) {
+			t.Fatalf("way %d should be at stack end after fill", w)
+		}
+	}
+	p.OnHit(0, 1) // way 1 → RRPV 0
+	if p.AtStackEnd(0, 1) {
+		t.Fatal("hit way still at stack end")
+	}
+	v := p.Victim(0)
+	if v == 1 {
+		t.Fatal("RRIP victimised the hit way")
+	}
+	// Victim search ages the set until some way reaches RRPV 3.
+	if pos := p.HitPosition(0, v); pos != 3 {
+		t.Errorf("victim hit position %d, want 3 (scaled RRPV max)", pos)
+	}
+}
+
+func TestRRIPVictimTerminates(t *testing.T) {
+	p := newPolicy(t, "rrip", 1, 16)
+	rng := rand.New(rand.NewPCG(13, 13))
+	for i := 0; i < 20_000; i++ {
+		switch rng.IntN(3) {
+		case 0:
+			p.OnFill(0, rng.IntN(16))
+		case 1:
+			p.OnHit(0, rng.IntN(16))
+		case 2:
+			if v := p.Victim(0); v < 0 || v >= 16 {
+				t.Fatalf("victim %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestPLRUInvalidatePointsAtFreedWay(t *testing.T) {
+	p := newPolicy(t, "plru", 1, 8)
+	for w := 0; w < 8; w++ {
+		p.OnFill(0, w)
+	}
+	for w := 0; w < 8; w++ {
+		p.OnInvalidate(0, w)
+		if v := p.Victim(0); v != w {
+			t.Fatalf("victim after invalidating way %d is %d", w, v)
+		}
+	}
+}

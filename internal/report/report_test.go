@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "t1",
+		Title:   "Sample",
+		Columns: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRowf("beta", 2.5)
+	t.AddRowf("gamma", 1234567)
+	t.Notes = append(t.Notes, "a note")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "t1: Sample") {
+		t.Errorf("missing title line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("missing header: %q", lines[1])
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+	// All body rows start at the same column for the value field.
+	var starts []int
+	for _, l := range lines[3:6] {
+		starts = append(starts, strings.IndexAny(l, "0123456789"))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] != starts[0] {
+			t.Errorf("misaligned columns: %v in %q", starts, out)
+		}
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	if got := Cell(0.123456); got != "0.1235" {
+		t.Errorf("Cell(float) = %q", got)
+	}
+	if got := Cell("x"); got != "x" {
+		t.Errorf("Cell(string) = %q", got)
+	}
+	if got := Cell(42); got != "42" {
+		t.Errorf("Cell(int) = %q", got)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 rows
+		t.Fatalf("CSV has %d records, want 4", len(recs))
+	}
+	if recs[0][0] != "name" || recs[1][0] != "alpha" {
+		t.Errorf("CSV content wrong: %v", recs)
+	}
+}
+
+func TestRenderAllAndEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Table{ID: "e", Columns: []string{"c"}}
+	if err := RenderAll(&buf, []*Table{sample(), empty}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t1") {
+		t.Error("first table missing")
+	}
+}
+
+func TestRowsShorterThanColumns(t *testing.T) {
+	tbl := &Table{ID: "s", Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("only")
+	// Must not panic.
+	_ = tbl.String()
+}

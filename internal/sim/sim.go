@@ -1,0 +1,617 @@
+// Package sim drives complete simulations in the paper's three contexts
+// of contention: Isolation (one core, no injection), PInTE (one core with
+// the injection engine on the LLC), and SecondTrace (two cores sharing
+// the LLC and DRAM — the multi-programmed baseline). It handles warm-up,
+// the region of interest, periodic run-time sampling, and parallel
+// experiment execution.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	pinte "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Mode is the source of contention (Table I's three rows).
+type Mode int
+
+const (
+	// Isolation runs the workload alone.
+	Isolation Mode = iota
+	// PInTE runs the workload alone with the injection engine attached
+	// to the LLC.
+	PInTE
+	// SecondTrace co-runs an adversary workload on a second core.
+	SecondTrace
+)
+
+// String returns the mode name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case Isolation:
+		return "isolation"
+	case PInTE:
+		return "pinte"
+	case SecondTrace:
+		return "2nd-trace"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config describes one simulation.
+type Config struct {
+	Mode Mode
+
+	// Workload names a preset (internal/trace); WorkloadSpec overrides
+	// it with an ad-hoc spec when non-nil.
+	Workload     string
+	WorkloadSpec *trace.Spec
+
+	// Adversary (SecondTrace only) names the co-runner preset;
+	// AdversarySpec overrides it. Adversaries adds further co-runners
+	// on additional cores — the paper's "more than two workloads ...
+	// run concurrently" scenario; each gets a disjoint address space.
+	Adversary     string
+	AdversarySpec *trace.Spec
+	Adversaries   []string
+
+	// PInduce is the injection probability (PInTE only).
+	PInduce float64
+
+	// Hier configures the cache hierarchy; the zero value selects the
+	// paper's default machine. Cores is set by the driver.
+	Hier cache.HierarchyConfig
+	// DRAM configures memory; nil selects dram.Default().
+	DRAM *dram.Config
+	// CPU configures core timing; MLP defaults to the workload spec's
+	// hint when zero.
+	CPU cpu.Config
+	// Branch names the branch predictor; "" means hashed-perceptron.
+	Branch string
+
+	// LLCWayAllocation, when non-zero, restricts every core's LLC
+	// fills to the first N ways (an Intel RDT-style capacity cap, as
+	// in the paper's §V-D setup: 10MB of the Xeon's 11MB LLC for the
+	// measured workloads). Remaining ways stay reserved.
+	LLCWayAllocation int
+
+	// Partitioning selects a dynamic LLC partitioning controller
+	// ("ucp" or "theft", see internal/partition); "" disables it.
+	// Mutually exclusive with LLCWayAllocation.
+	Partitioning string
+	// ReallocEvery is the partitioning epoch in primary-core
+	// instructions; 0 means 50_000.
+	ReallocEvery uint64
+
+	// WarmupInstrs runs before statistics are reset; ROIInstrs is the
+	// measured region; SampleEvery is the run-time sampling interval
+	// (all counted in primary-core instructions). Zero values select
+	// 200k / 1M / 50k — the paper's 500M / 500M / 10M at 1:500 scale.
+	WarmupInstrs uint64
+	ROIInstrs    uint64
+	SampleEvery  uint64
+
+	// Seed drives every random stream in the run (generators, engine,
+	// randomised policies). Two runs with equal Config produce
+	// identical results.
+	Seed uint64
+	// EngineSeed, when non-zero, seeds only the PInTE engine's random
+	// stream, leaving the workload identical — the Fig 3 stability
+	// study's rerun knob. Zero derives the engine seed from Seed.
+	EngineSeed uint64
+
+	// Extensions beyond the paper's core mechanism (§IV-E2b sketches
+	// both; disabled when zero).
+
+	// IndependentPeriod, in primary-core instructions, runs the PInTE
+	// flow on a schedule decoupled from LLC accesses (PInTE mode
+	// only); it addresses the core-bound workloads whose LLC accesses
+	// are too rare to trigger access-coupled injection.
+	IndependentPeriod uint64
+	// DRAMContentionProb and DRAMContentionPenalty inject extra memory
+	// latency (any mode), standing in for the off-chip contention a
+	// real co-runner exerts beyond the LLC.
+	DRAMContentionProb    float64
+	DRAMContentionPenalty uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WarmupInstrs == 0 {
+		c.WarmupInstrs = 200_000
+	}
+	if c.ROIInstrs == 0 {
+		c.ROIInstrs = 1_000_000
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 50_000
+	}
+	if c.Branch == "" {
+		c.Branch = "hashed-perceptron"
+	}
+	// Merge unset hierarchy levels with the paper's default machine:
+	// any level with a zero size takes the default geometry, and a
+	// policy override on a defaulted level is preserved.
+	hc := cache.DefaultConfig(1)
+	hc.Inclusion = c.Hier.Inclusion
+	hc.Prefetch = c.Hier.Prefetch
+	hc.Seed = c.Hier.Seed
+	for _, lvl := range []struct {
+		dst *cache.LevelConfig
+		src cache.LevelConfig
+	}{
+		{&hc.L1I, c.Hier.L1I}, {&hc.L1D, c.Hier.L1D},
+		{&hc.L2, c.Hier.L2}, {&hc.LLC, c.Hier.LLC},
+	} {
+		if lvl.src.SizeBytes != 0 {
+			*lvl.dst = lvl.src
+		} else if lvl.src.Policy != "" {
+			lvl.dst.Policy = lvl.src.Policy
+		}
+	}
+	c.Hier = hc
+	return c
+}
+
+// Sample is one run-time measurement interval for the primary core (the
+// paper samples every 10M instructions).
+type Sample struct {
+	Instrs uint64 // cumulative primary-core instructions at interval end
+	IPC    float64
+	// MissRate is the primary core's LLC miss ratio over the interval.
+	MissRate float64
+	AMAT     float64
+	// InterferenceRate is thefts experienced per LLC access over the
+	// interval; TheftRate is thefts caused (mock thefts under PInTE).
+	InterferenceRate float64
+	TheftRate        float64
+	// OccupancyFrac is the fraction of LLC blocks the primary core
+	// holds at the interval's end.
+	OccupancyFrac float64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Config Config
+
+	// Aggregates over the region of interest, primary core.
+	Instrs         uint64
+	Cycles         uint64
+	IPC            float64
+	MissRate       float64 // LLC
+	AMAT           float64
+	ContentionRate float64 // thefts experienced per LLC access
+	BranchAccuracy float64
+
+	// L2MPKI and LLCMPKI are misses per kilo-instruction (Fig 6b).
+	L2MPKI  float64
+	LLCMPKI float64
+
+	// LLCWritebackFillShare is the fraction of LLC fills that arrived
+	// via writeback (the Fig 6b "L2 spill" signature).
+	LLCWritebackFillShare float64
+
+	// ReuseHist is the primary core's LLC hit-position histogram.
+	ReuseHist []uint64
+
+	// OccupancyFrac is the mean sampled LLC occupancy share.
+	OccupancyFrac float64
+
+	Samples []Sample
+
+	// Engine carries PInTE engine statistics (PInTE mode only).
+	Engine *pinte.Stats
+	// DRAMInjection carries memory-side injection statistics when the
+	// DRAM contention extension is enabled.
+	DRAMInjection *pinte.DRAMContentionStats
+	// IndependentTicks counts access-independent injection rounds when
+	// that extension is enabled.
+	IndependentTicks uint64
+	// Partition holds the final per-core LLC way masks when a
+	// partitioning controller ran.
+	Partition []uint64
+
+	// Prefetch effectiveness (Fig 11 row 3 inputs).
+	PrefetchIssued   uint64
+	PrefetchUseful   uint64
+	PrefetchFromDRAM uint64
+	// L1DMissRate / L2MissRate for case-study secondary metrics.
+	L1DMissRate float64
+	L2MissRate  float64
+
+	WallTime time.Duration
+}
+
+// WeightedIPC returns r.IPC normalised by an isolation IPC.
+func (r *Result) WeightedIPC(isolationIPC float64) float64 {
+	if isolationIPC == 0 {
+		return 0
+	}
+	return r.IPC / isolationIPC
+}
+
+// specFor resolves a workload selection.
+func specFor(name string, override *trace.Spec) (trace.Spec, error) {
+	if override != nil {
+		return *override, nil
+	}
+	return trace.SpecFor(name)
+}
+
+// adversaryBase offsets the second core's address space so co-runners
+// never share data blocks (distinct physical footprints).
+const adversaryBase = 1 << 42
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	spec, err := specFor(cfg.Workload, cfg.WorkloadSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	dcfg := dram.Default()
+	if cfg.DRAM != nil {
+		dcfg = *cfg.DRAM
+	}
+	mem, err := dram.New(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	var hierMem cache.Memory = mem
+	var dramInj *pinte.DRAMContention
+	if cfg.DRAMContentionProb > 0 {
+		dramInj, err = pinte.NewDRAMContention(pinte.DRAMContentionParams{
+			Probability:   cfg.DRAMContentionProb,
+			PenaltyCycles: cfg.DRAMContentionPenalty,
+			Seed:          cfg.Seed + 11,
+		}, mem)
+		if err != nil {
+			return nil, err
+		}
+		hierMem = dramInj
+	}
+
+	cores := 1
+	if cfg.Mode == SecondTrace {
+		cores = 2 + len(cfg.Adversaries)
+	}
+	hcfg := cfg.Hier
+	hcfg.Cores = cores
+	hcfg.Seed = cfg.Seed
+	hier, err := cache.NewHierarchy(hcfg, hierMem)
+	if err != nil {
+		return nil, err
+	}
+	var ctrl partition.Controller
+	if cfg.Partitioning != "" {
+		if cfg.LLCWayAllocation > 0 {
+			return nil, fmt.Errorf("sim: Partitioning and LLCWayAllocation are mutually exclusive")
+		}
+		ctrl, err = partition.New(cfg.Partitioning, cores)
+		if err != nil {
+			return nil, err
+		}
+		ctrl.Attach(hier.LLC())
+	}
+	if n := cfg.LLCWayAllocation; n > 0 {
+		if n > hier.LLC().Ways() {
+			return nil, fmt.Errorf("sim: LLC way allocation %d exceeds %d ways", n, hier.LLC().Ways())
+		}
+		mask := uint64(1)<<uint(n) - 1
+		for core := 0; core < cores; core++ {
+			if err := hier.LLC().SetWayPartition(core, mask); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cpuCfg := cfg.CPU
+	if cpuCfg.MLP == 0 {
+		cpuCfg.MLP = spec.MLP
+	}
+	gen0, err := trace.NewGenerator(spec, cfg.Seed+1, 0)
+	if err != nil {
+		return nil, err
+	}
+	bp0, err := branch.New(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	core0 := cpu.NewCore(0, cpuCfg, gen0, hier, bp0)
+	sys := cpu.NewSystem(core0)
+	sys.RestartFinished = true
+
+	var engine *pinte.Engine
+	var ticker *pinte.Ticker
+	switch cfg.Mode {
+	case PInTE:
+		eseed := cfg.EngineSeed
+		if eseed == 0 {
+			eseed = cfg.Seed + 7
+		}
+		engine, err = pinte.NewEngine(pinte.Params{PInduce: cfg.PInduce, Seed: eseed})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.IndependentPeriod > 0 {
+			// Extension: the flow runs on a schedule instead of on
+			// LLC accesses.
+			ticker, err = pinte.NewTicker(engine, hier.LLC())
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			hier.LLC().SetInjector(engine)
+		}
+		hier.LLC().SetWritebackSink(func(addr uint64) {
+			mem.Access(core0.Cycles, addr, true)
+		})
+	case SecondTrace:
+		names := append([]string{cfg.Adversary}, cfg.Adversaries...)
+		for i, name := range names {
+			var override *trace.Spec
+			if i == 0 {
+				override = cfg.AdversarySpec
+			}
+			aspec, err := specFor(name, override)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := trace.NewGenerator(aspec, cfg.Seed+2+uint64(i),
+				adversaryBase*uint64(i+1))
+			if err != nil {
+				return nil, err
+			}
+			advCPU := cfg.CPU
+			advCPU.MLP = aspec.MLP
+			bp, err := branch.New(cfg.Branch)
+			if err != nil {
+				return nil, err
+			}
+			sys.Cores = append(sys.Cores, cpu.NewCore(1+i, advCPU, gen, hier, bp))
+		}
+	}
+
+	// tick advances the access-independent injection schedule, when
+	// enabled, to the primary core's current instruction count, and
+	// runs partitioning epochs.
+	nextTick := cfg.IndependentPeriod
+	reallocEvery := cfg.ReallocEvery
+	if reallocEvery == 0 {
+		reallocEvery = 50_000
+	}
+	nextRealloc := reallocEvery
+	tick := func() {
+		if ticker != nil {
+			for core0.Instrs >= nextTick {
+				ticker.Tick()
+				nextTick += cfg.IndependentPeriod
+			}
+		}
+		if ctrl != nil {
+			for core0.Instrs >= nextRealloc {
+				for i, mask := range ctrl.Reallocate(hier.LLC()) {
+					if err := hier.LLC().SetWayPartition(i, mask); err != nil {
+						panic(err) // masks are constructed in-range
+					}
+				}
+				nextRealloc += reallocEvery
+			}
+		}
+	}
+
+	// Warm-up: event counters reset; clocks keep running (they are
+	// physical time shared with the DRAM bank timestamps).
+	if cfg.WarmupInstrs > 0 {
+		err = sys.Run(func(*cpu.Core) bool {
+			tick()
+			return core0.Instrs >= cfg.WarmupInstrs
+		})
+		if err != nil {
+			return nil, err
+		}
+		hier.ResetStats()
+		for _, c := range sys.Cores {
+			c.ResetStats()
+		}
+		mem.Stats = dram.Stats{}
+		if engine != nil {
+			engine.ResetStats()
+		}
+		if dramInj != nil {
+			dramInj.ResetStats()
+		}
+	}
+	roiStartInstrs, roiStartCycles := core0.Instrs, core0.Cycles
+	roiEnd := roiStartInstrs + cfg.ROIInstrs
+
+	// Region of interest with periodic sampling.
+	res := &Result{Config: cfg}
+	sampler := newSampler(cfg, core0, hier)
+	err = sys.Run(func(*cpu.Core) bool {
+		tick()
+		sampler.maybeSample(&res.Samples)
+		return core0.Instrs >= roiEnd
+	})
+	if err != nil {
+		return nil, err
+	}
+	sampler.maybeSample(&res.Samples)
+
+	fillResult(res, core0, hier, engine, roiStartInstrs, roiStartCycles)
+	if dramInj != nil {
+		st := dramInj.Stats
+		res.DRAMInjection = &st
+	}
+	if ticker != nil {
+		res.IndependentTicks = ticker.Ticks
+	}
+	if ctrl != nil {
+		for core := 0; core < hier.Cores(); core++ {
+			res.Partition = append(res.Partition, hier.LLC().WayPartition(core))
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func fillResult(res *Result, core0 *cpu.Core, hier *cache.Hierarchy, engine *pinte.Engine, instrs0, cycles0 uint64) {
+	llc := hier.LLC().Stats
+	res.Instrs = core0.Instrs - instrs0
+	res.Cycles = core0.Cycles - cycles0
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instrs) / float64(res.Cycles)
+	}
+	res.MissRate = llc.MissRateCore(0)
+	res.AMAT = hier.AMAT(0)
+	res.ContentionRate = llc.ContentionRate(0)
+	res.BranchAccuracy = core0.Stats.BranchAccuracy()
+	ki := float64(res.Instrs) / 1000
+	if ki > 0 {
+		res.L2MPKI = float64(hier.L2(0).Stats.Misses[0]) / ki
+		res.LLCMPKI = float64(llc.Misses[0]) / ki
+	}
+	fills := hier.Stats.LLCDemandFills + hier.Stats.LLCWritebackFills
+	if fills > 0 {
+		res.LLCWritebackFillShare = float64(hier.Stats.LLCWritebackFills) / float64(fills)
+	}
+	res.ReuseHist = append([]uint64(nil), llc.ReuseHistCore[0]...)
+	if n := len(res.Samples); n > 0 {
+		var s float64
+		for _, smp := range res.Samples {
+			s += smp.OccupancyFrac
+		}
+		res.OccupancyFrac = s / float64(n)
+	}
+	if engine != nil {
+		st := engine.Stats
+		res.Engine = &st
+	}
+	res.PrefetchIssued = hier.Stats.PrefetchIssued
+	res.PrefetchFromDRAM = hier.Stats.PrefetchFromDRAM
+	res.PrefetchUseful = hier.LLC().Stats.PrefetchUseful +
+		hier.L1D(0).Stats.PrefetchUseful + hier.L2(0).Stats.PrefetchUseful
+	res.L1DMissRate = hier.L1D(0).Stats.MissRateCore(0)
+	res.L2MissRate = hier.L2(0).Stats.MissRateCore(0)
+}
+
+// sampler computes interval deltas of cumulative counters.
+type sampler struct {
+	cfg  Config
+	core *cpu.Core
+	hier *cache.Hierarchy
+
+	nextAt uint64
+	prev   snapshot
+}
+
+type snapshot struct {
+	instrs, cycles     uint64
+	llcAcc, llcMiss    uint64
+	theftsExp, theftsC uint64
+	mock               uint64
+	dataAcc, dataLat   uint64
+}
+
+func newSampler(cfg Config, core *cpu.Core, hier *cache.Hierarchy) *sampler {
+	s := &sampler{cfg: cfg, core: core, hier: hier}
+	s.prev = s.snap()
+	s.nextAt = core.Instrs + cfg.SampleEvery
+	return s
+}
+
+func (s *sampler) snap() snapshot {
+	llc := s.hier.LLC().Stats
+	return snapshot{
+		instrs:    s.core.Instrs,
+		cycles:    s.core.Cycles,
+		llcAcc:    llc.Accesses[0],
+		llcMiss:   llc.Misses[0],
+		theftsExp: llc.TheftsExperienced[0],
+		theftsC:   llc.TheftsCaused[0],
+		mock:      llc.MockThefts[0],
+		dataAcc:   s.hier.Stats.DemandDataAccesses[0],
+		dataLat:   s.hier.Stats.DemandDataLatency[0],
+	}
+}
+
+// maybeSample appends interval samples for every boundary the primary
+// core has crossed since the last call.
+func (s *sampler) maybeSample(out *[]Sample) {
+	if s.core.Instrs < s.nextAt {
+		return
+	}
+	cur := s.snap()
+	p := s.prev
+	smp := Sample{Instrs: cur.instrs}
+	if dc := cur.cycles - p.cycles; dc > 0 {
+		smp.IPC = float64(cur.instrs-p.instrs) / float64(dc)
+	}
+	if da := cur.llcAcc - p.llcAcc; da > 0 {
+		smp.MissRate = float64(cur.llcMiss-p.llcMiss) / float64(da)
+		smp.InterferenceRate = float64(cur.theftsExp-p.theftsExp) / float64(da)
+		smp.TheftRate = float64(cur.theftsC-p.theftsC+cur.mock-p.mock) / float64(da)
+	}
+	if dd := cur.dataAcc - p.dataAcc; dd > 0 {
+		smp.AMAT = float64(cur.dataLat-p.dataLat) / float64(dd)
+	}
+	llc := s.hier.LLC()
+	smp.OccupancyFrac = float64(llc.Stats.Occupancy[0]) / float64(llc.CapacityBlocks())
+	*out = append(*out, smp)
+	s.prev = cur
+	s.nextAt = cur.instrs + s.cfg.SampleEvery
+}
+
+// RunMany executes configs in parallel across workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns results in input order. The
+// first error aborts scheduling of new work and is returned.
+func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Result, len(cfgs))
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := Run(cfgs[i])
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[i] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range cfgs {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstErr
+}

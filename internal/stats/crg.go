@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// Contention rate grouping (CRG, §III-E): experiments are compared across
+// "like" contention rates by rounding each observed rate to the nearest
+// group centre. The paper's default groups rates into ±5% sub-ranges by
+// rounding to the nearest 10%; §IV-E4 also evaluates ±2.5% and ±10%
+// criteria (Fig 7).
+
+// CRG is one grouping criterion.
+type CRG struct {
+	// HalfWidth is the half-width of each group in rate units (0.05
+	// reproduces the paper's ±5% default). Group centres are spaced
+	// 2×HalfWidth apart starting at 0.
+	HalfWidth float64
+}
+
+// DefaultCRG is the paper's ±5% criterion.
+func DefaultCRG() CRG { return CRG{HalfWidth: 0.05} }
+
+// Criteria returns the three criteria of Fig 7: ±2.5%, ±5%, ±10%.
+func Criteria() []CRG {
+	return []CRG{{HalfWidth: 0.025}, {HalfWidth: 0.05}, {HalfWidth: 0.10}}
+}
+
+// Group returns the group index for a contention rate in [0, 1].
+func (c CRG) Group(rate float64) int {
+	w := 2 * c.HalfWidth
+	if w <= 0 {
+		panic("stats: CRG half-width must be positive")
+	}
+	g := int(math.Round(rate / w))
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// Center returns the contention rate at the centre of group g.
+func (c CRG) Center(g int) float64 { return float64(g) * 2 * c.HalfWidth }
+
+// Groups returns the number of groups covering rates in [0, 1].
+func (c CRG) Groups() int { return c.Group(1.0) + 1 }
+
+// Coverage reports what fraction of reference rates have at least one
+// approx rate in the same group — Fig 7b's "experiments covered".
+func (c CRG) Coverage(reference, approx []float64) float64 {
+	if len(reference) == 0 {
+		return 0
+	}
+	have := make(map[int]bool, len(approx))
+	for _, r := range approx {
+		have[c.Group(r)] = true
+	}
+	n := 0
+	for _, r := range reference {
+		if have[c.Group(r)] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(reference))
+}
+
+// GroupMeans averages ys by the CRG group of the corresponding xs and
+// returns (group centres, means) sorted by centre — the construction of
+// the paper's contention curves.
+func (c CRG) GroupMeans(xs, ys []float64) (centers, means []float64) {
+	if len(xs) != len(ys) {
+		panic("stats: GroupMeans length mismatch")
+	}
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for i, x := range xs {
+		g := c.Group(x)
+		sum[g] += ys[i]
+		cnt[g]++
+	}
+	for g := 0; g <= c.Group(1.0); g++ {
+		if cnt[g] == 0 {
+			continue
+		}
+		centers = append(centers, c.Center(g))
+		means = append(means, sum[g]/float64(cnt[g]))
+	}
+	return centers, means
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRGGroupDefault(t *testing.T) {
+	crg := DefaultCRG()
+	cases := []struct {
+		rate float64
+		want int
+	}{
+		{0, 0}, {0.04, 0}, {0.051, 1}, {0.10, 1}, {0.149, 1},
+		{0.151, 2}, {0.96, 10}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := crg.Group(c.rate); got != c.want {
+			t.Errorf("Group(%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestCRGCenterInverseProperty(t *testing.T) {
+	for _, crg := range Criteria() {
+		f := func(raw uint16) bool {
+			rate := float64(raw%1001) / 1000
+			g := crg.Group(rate)
+			// The group's centre must be within half-width of rate.
+			return math.Abs(crg.Center(g)-rate) <= crg.HalfWidth+1e-12
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("half-width %v: %v", crg.HalfWidth, err)
+		}
+	}
+}
+
+func TestCRGGroupsCount(t *testing.T) {
+	if g := DefaultCRG().Groups(); g != 11 {
+		t.Errorf("±5%% criterion has %d groups, want 11 (0%%,10%%,…,100%%)", g)
+	}
+}
+
+func TestCRGCoverage(t *testing.T) {
+	crg := DefaultCRG()
+	ref := []float64{0.02, 0.11, 0.52, 0.93}
+	approx := []float64{0.04, 0.48}
+	// Groups present in approx: 0 and 5; ref groups: 0,1,5,9 → 2 of 4.
+	if cov := crg.Coverage(ref, approx); cov != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", cov)
+	}
+	if cov := crg.Coverage(nil, approx); cov != 0 {
+		t.Error("empty reference should yield 0")
+	}
+	if cov := crg.Coverage(ref, ref); cov != 1 {
+		t.Error("self coverage should be 1")
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	crg := DefaultCRG()
+	xs := []float64{0.01, 0.03, 0.52, 0.48}
+	ys := []float64{1.0, 0.9, 0.5, 0.7}
+	centers, means := crg.GroupMeans(xs, ys)
+	if len(centers) != 2 {
+		t.Fatalf("got %d groups, want 2", len(centers))
+	}
+	if centers[0] != 0 || math.Abs(means[0]-0.95) > 1e-12 {
+		t.Errorf("group 0: (%v, %v), want (0, 0.95)", centers[0], means[0])
+	}
+	if centers[1] != 0.5 || math.Abs(means[1]-0.6) > 1e-12 {
+		t.Errorf("group 5: (%v, %v), want (0.5, 0.6)", centers[1], means[1])
+	}
+}
+
+func TestGroupMeansMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	DefaultCRG().GroupMeans([]float64{1}, []float64{1, 2})
+}
+
+func TestCriteriaMatchPaper(t *testing.T) {
+	cs := Criteria()
+	want := []float64{0.025, 0.05, 0.10}
+	if len(cs) != len(want) {
+		t.Fatalf("got %d criteria, want %d", len(cs), len(want))
+	}
+	for i := range cs {
+		if cs[i].HalfWidth != want[i] {
+			t.Errorf("criterion %d half-width %v, want %v", i, cs[i].HalfWidth, want[i])
+		}
+	}
+}

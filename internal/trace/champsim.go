@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ChampSim trace interop.
+//
+// The paper's experiments run on ChampSim, whose input traces are streams
+// of fixed 64-byte records (one per retired instruction):
+//
+//	offset  size  field
+//	0       8     ip            uint64
+//	8       1     is_branch     bool
+//	9       1     branch_taken  bool
+//	10      2     destination_registers [2]uint8
+//	12      4     source_registers      [4]uint8
+//	16      16    destination_memory    [2]uint64
+//	32      32    source_memory         [4]uint64
+//
+// ChampSimReader adapts that format to this simulator's Reader interface
+// so real DPC-3 traces (when available to the user) can drive the same
+// experiments as the synthetic presets. Records with more than two source
+// memory operands keep the first two (this simulator models at most two
+// loads per instruction); extra destination operands keep the first.
+// Dependent-load information does not exist in ChampSim traces, so
+// imported records are never marked Dependent.
+
+// champSimRecordSize is the fixed on-disk record size.
+const champSimRecordSize = 64
+
+// ChampSimReader decodes ChampSim input traces. It implements Reader.
+type ChampSimReader struct {
+	r      *bufio.Reader
+	closer io.Closer
+	buf    [champSimRecordSize]byte
+	// prevBranchPC backfills branch targets: ChampSim traces carry no
+	// explicit target, so the next instruction's ip serves as the
+	// taken target, mirroring how ChampSim itself infers it.
+	pending    Record
+	hasPending bool
+	count      uint64
+}
+
+// NewChampSimReader wraps r, which must yield raw 64-byte records.
+func NewChampSimReader(r io.Reader) *ChampSimReader {
+	return &ChampSimReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// OpenChampSim opens a ChampSim trace file; ".gz" enables gzip. (The
+// original DPC-3 traces use xz, which the Go standard library cannot
+// decode — decompress those externally first.)
+func OpenChampSim(path string) (*ChampSimReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var src io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		src = gz
+	}
+	if strings.HasSuffix(path, ".xz") {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: xz is not supported by the standard library; decompress first", path)
+	}
+	cr := NewChampSimReader(src)
+	cr.closer = f
+	return cr, nil
+}
+
+// decodeOne reads one raw record into rec, without target backfill.
+func (c *ChampSimReader) decodeOne(rec *Record) error {
+	if _, err := io.ReadFull(c.r, c.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("trace: champsim record truncated: %w", ErrCorrupt)
+		}
+		return err
+	}
+	rec.Reset()
+	rec.PC = binary.LittleEndian.Uint64(c.buf[0:8])
+	rec.IsBranch = c.buf[8] != 0
+	rec.Taken = c.buf[9] != 0
+	if d := binary.LittleEndian.Uint64(c.buf[16:24]); d != 0 {
+		rec.Store = d
+	}
+	if s := binary.LittleEndian.Uint64(c.buf[32:40]); s != 0 {
+		rec.Load0 = s
+	}
+	if s := binary.LittleEndian.Uint64(c.buf[40:48]); s != 0 {
+		if rec.Load0 == 0 {
+			rec.Load0 = s
+		} else {
+			rec.Load1 = s
+		}
+	}
+	// Third/fourth source operands and second destination are dropped;
+	// scan remaining source slots only to fill Load1 if still free.
+	if rec.Load1 == 0 {
+		for off := 48; off < 64; off += 8 {
+			if s := binary.LittleEndian.Uint64(c.buf[off : off+8]); s != 0 && s != rec.Load0 {
+				rec.Load1 = s
+				break
+			}
+		}
+	}
+	c.count++
+	return nil
+}
+
+// Next implements Reader. Branch records are emitted with Target set to
+// the following instruction's PC when the branch was taken.
+func (c *ChampSimReader) Next(rec *Record) error {
+	if !c.hasPending {
+		if err := c.decodeOne(&c.pending); err != nil {
+			return err
+		}
+		c.hasPending = true
+	}
+	cur := c.pending
+	// Peek the successor to backfill a taken branch's target.
+	err := c.decodeOne(&c.pending)
+	switch {
+	case err == nil:
+		if cur.IsBranch && cur.Taken {
+			cur.Target = c.pending.PC
+		}
+	case err == io.EOF:
+		c.hasPending = false
+	default:
+		return err
+	}
+	*rec = cur
+	return nil
+}
+
+// Count reports how many raw records have been decoded so far.
+func (c *ChampSimReader) Count() uint64 { return c.count }
+
+// Close closes the underlying file, if any.
+func (c *ChampSimReader) Close() error {
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// ChampSimWriter encodes Records into the ChampSim fixed-record format,
+// for feeding this repository's synthetic workloads into a real ChampSim.
+type ChampSimWriter struct {
+	w     *bufio.Writer
+	buf   [champSimRecordSize]byte
+	count uint64
+}
+
+// NewChampSimWriter writes ChampSim records to w.
+func NewChampSimWriter(w io.Writer) *ChampSimWriter {
+	return &ChampSimWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write encodes one record.
+func (c *ChampSimWriter) Write(rec *Record) error {
+	for i := range c.buf {
+		c.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(c.buf[0:8], rec.PC)
+	if rec.IsBranch {
+		c.buf[8] = 1
+	}
+	if rec.Taken {
+		c.buf[9] = 1
+	}
+	if rec.Store != 0 {
+		binary.LittleEndian.PutUint64(c.buf[16:24], rec.Store)
+	}
+	if rec.Load0 != 0 {
+		binary.LittleEndian.PutUint64(c.buf[32:40], rec.Load0)
+	}
+	if rec.Load1 != 0 {
+		binary.LittleEndian.PutUint64(c.buf[40:48], rec.Load1)
+	}
+	c.count++
+	if _, err := c.w.Write(c.buf[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Count reports the number of records written.
+func (c *ChampSimWriter) Count() uint64 { return c.count }
+
+// Flush drains buffered output.
+func (c *ChampSimWriter) Flush() error { return c.w.Flush() }

@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// File format
+//
+// A trace file is a stream of variable-length records preceded by a fixed
+// header. All multi-byte integers are unsigned varints (binary.PutUvarint)
+// except the header fields, which are fixed-width little-endian.
+//
+//	header:
+//	  magic   [8]byte  "PINTETRC"
+//	  version uint32   currently 1
+//	  count   uint64   number of records (0 if unknown/streamed)
+//	records, repeated:
+//	  flags   byte     bit0 branch, bit1 taken, bit2 dependent,
+//	                   bit3 has load0, bit4 has load1, bit5 has store
+//	  pcDelta uvarint  zig-zag delta from previous PC
+//	  load0   uvarint  present iff bit3
+//	  load1   uvarint  present iff bit4
+//	  store   uvarint  present iff bit5
+//	  target  uvarint  present iff branch
+//
+// Files whose name ends in ".gz" are transparently (de)compressed.
+
+const (
+	fileMagic   = "PINTETRC"
+	fileVersion = 1
+)
+
+const (
+	flagBranch = 1 << iota
+	flagTaken
+	flagDependent
+	flagLoad0
+	flagLoad1
+	flagStore
+)
+
+// Writer serialises records into the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	gz     *gzip.Writer
+	closer io.Closer
+	prevPC uint64
+	count  uint64
+	buf    []byte
+	err    error
+}
+
+// NewWriter writes a trace to w. The header is written with a zero record
+// count; use WriteFile when an exact count is desired (the reader does not
+// require one).
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+	if err := tw.writeHeader(0); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (w *Writer) writeHeader(count uint64) error {
+	var hdr [20]byte
+	copy(hdr[:8], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], count)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one record to the trace.
+func (w *Writer) Write(rec *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	var flags byte
+	if rec.IsBranch {
+		flags |= flagBranch
+	}
+	if rec.Taken {
+		flags |= flagTaken
+	}
+	if rec.Dependent {
+		flags |= flagDependent
+	}
+	if rec.Load0 != 0 {
+		flags |= flagLoad0
+	}
+	if rec.Load1 != 0 {
+		flags |= flagLoad1
+	}
+	if rec.Store != 0 {
+		flags |= flagStore
+	}
+	b := append(w.buf[:0], flags)
+	b = binary.AppendUvarint(b, zigzag(int64(rec.PC)-int64(w.prevPC)))
+	if rec.Load0 != 0 {
+		b = binary.AppendUvarint(b, rec.Load0)
+	}
+	if rec.Load1 != 0 {
+		b = binary.AppendUvarint(b, rec.Load1)
+	}
+	if rec.Store != 0 {
+		b = binary.AppendUvarint(b, rec.Store)
+	}
+	if rec.IsBranch {
+		b = binary.AppendUvarint(b, rec.Target)
+	}
+	w.buf = b
+	w.prevPC = rec.PC
+	w.count++
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Count reports the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes buffered data. It does not close the underlying writer
+// unless the Writer was created by CreateFile.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			return err
+		}
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// CreateFile creates path and returns a Writer for it. A ".gz" suffix
+// enables gzip compression.
+func CreateFile(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		sink = gz
+	}
+	tw, err := NewWriter(sink)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tw.gz = gz
+	tw.closer = f
+	return tw, nil
+}
+
+// FileReader decodes the binary trace format. It implements Reader.
+type FileReader struct {
+	r      *bufio.Reader
+	closer io.Closer
+	prevPC uint64
+	count  uint64 // declared count from header, 0 if unknown
+	read   uint64
+}
+
+// NewFileReader reads a trace from r.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:8]) != fileMagic {
+		return nil, ErrCorrupt
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d: %w", v, ErrCorrupt)
+	}
+	return &FileReader{
+		r:     br,
+		count: binary.LittleEndian.Uint64(hdr[12:20]),
+	}, nil
+}
+
+// OpenFile opens a trace file written by CreateFile.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var src io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		src = gz
+	}
+	fr, err := NewFileReader(src)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fr.closer = f
+	return fr, nil
+}
+
+// Next decodes the next record. It returns io.EOF at end of stream.
+func (fr *FileReader) Next(rec *Record) error {
+	flags, err := fr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF && fr.count != 0 && fr.read != fr.count {
+			return ErrCorrupt
+		}
+		return err
+	}
+	rec.Reset()
+	delta, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return corrupt(err)
+	}
+	rec.PC = uint64(int64(fr.prevPC) + unzigzag(delta))
+	fr.prevPC = rec.PC
+	if flags&flagLoad0 != 0 {
+		if rec.Load0, err = binary.ReadUvarint(fr.r); err != nil {
+			return corrupt(err)
+		}
+	}
+	if flags&flagLoad1 != 0 {
+		if rec.Load1, err = binary.ReadUvarint(fr.r); err != nil {
+			return corrupt(err)
+		}
+	}
+	if flags&flagStore != 0 {
+		if rec.Store, err = binary.ReadUvarint(fr.r); err != nil {
+			return corrupt(err)
+		}
+	}
+	if flags&flagBranch != 0 {
+		rec.IsBranch = true
+		rec.Taken = flags&flagTaken != 0
+		if rec.Target, err = binary.ReadUvarint(fr.r); err != nil {
+			return corrupt(err)
+		}
+	}
+	rec.Dependent = flags&flagDependent != 0
+	fr.read++
+	return nil
+}
+
+// Close closes the underlying file, if any.
+func (fr *FileReader) Close() error {
+	if fr.closer != nil {
+		return fr.closer.Close()
+	}
+	return nil
+}
+
+func corrupt(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrCorrupt
+	}
+	return err
+}
+
+// WriteAll drains src into a new trace file at path and returns the number
+// of records written.
+func WriteAll(path string, src Reader) (uint64, error) {
+	w, err := CreateFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rec Record
+	for {
+		err := src.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return w.Count(), err
+		}
+		if err := w.Write(&rec); err != nil {
+			w.Close()
+			return w.Count(), err
+		}
+	}
+	return w.Count(), w.Close()
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Record
+	var rec Record
+	for {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	recs := []Record{
+		{PC: 0x1000},
+		{PC: 0x1004, Load0: 0xdead40, Dependent: true},
+		{PC: 0x1008, Load0: 0xbeef00, Load1: 0xcafe40, Store: 0xf00d80},
+		{PC: 0x100c, IsBranch: true, Taken: true, Target: 0x2000},
+		{PC: 0x2000, IsBranch: true, Taken: false, Target: 0x3000},
+		{PC: 0x0800}, // backwards PC delta
+		{PC: 0x0800, Store: 1 << 50},
+	}
+	got := roundTrip(t, recs)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFileRoundTripGeneratorStream(t *testing.T) {
+	g := MustGenerator(testSpec(), 21, 0)
+	recs := collect(t, g, 20_000)
+	got := roundTrip(t, recs)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	f := func(n uint8) bool {
+		recs := make([]Record, int(n)+1)
+		pc := uint64(0x4000)
+		for i := range recs {
+			pc += uint64(rng.IntN(16)) * 4
+			recs[i] = Record{PC: pc}
+			switch rng.IntN(4) {
+			case 0:
+				recs[i].Load0 = rng.Uint64() >> 8 << 3
+				recs[i].Dependent = rng.IntN(2) == 0
+			case 1:
+				recs[i].Store = rng.Uint64() >> 8 << 3
+			case 2:
+				recs[i].IsBranch = true
+				recs[i].Taken = rng.IntN(2) == 0
+				recs[i].Target = pc + 64
+			}
+			// Zero-address operands mean "absent"; ensure non-zero.
+			if recs[i].Load0 == 0 && rng.IntN(4) == 0 {
+				recs[i].Load0 = 8
+			}
+		}
+		got := roundTrip(t, recs)
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileOnDiskGzip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"plain.trc", "packed.trc.gz"} {
+		path := filepath.Join(dir, name)
+		g := MustGenerator(testSpec(), 31, 0)
+		n, err := WriteAll(path, Limit(g, 5000))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n != 5000 {
+			t.Fatalf("%s: wrote %d records, want 5000", name, n)
+		}
+		r, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := MustGenerator(testSpec(), 31, 0)
+		var got, want Record
+		for i := 0; i < 5000; i++ {
+			if err := r.Next(&got); err != nil {
+				t.Fatalf("%s: record %d: %v", name, i, err)
+			}
+			if err := g2.Next(&want); err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: record %d mismatch", name, i)
+			}
+		}
+		if err := r.Next(&got); err != io.EOF {
+			t.Fatalf("%s: expected EOF, got %v", name, err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileRejectsBadHeader(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("NOTATRACEFILE0000000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = 99 // corrupt version
+	if _, err := NewFileReader(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestFileTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{PC: 0x1000, Load0: 0xffffffffff}
+	for i := 0; i < 10; i++ {
+		rec.PC += 4
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	r, err := NewFileReader(bytes.NewReader(b[:len(b)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	var lastErr error
+	for i := 0; i < 11; i++ {
+		if lastErr = r.Next(&got); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil || lastErr == io.EOF {
+		t.Fatalf("truncated body not detected: %v", lastErr)
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.trc")); !os.IsNotExist(err) {
+		t.Fatalf("expected not-exist error, got %v", err)
+	}
+}

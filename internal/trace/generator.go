@@ -1,0 +1,510 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+)
+
+// Pattern describes how a memory region is walked.
+type Pattern int
+
+const (
+	// Sequential walks the region one 64-bit word at a time.
+	Sequential Pattern = iota
+	// Strided walks the region with a fixed stride.
+	Strided
+	// Random picks uniformly-distributed addresses within the region.
+	Random
+	// PointerChase performs a deterministic pseudo-random walk where each
+	// address depends on the previous one; the core model serialises
+	// these loads (no memory-level parallelism).
+	PointerChase
+)
+
+// String returns the pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	case PointerChase:
+		return "pointer-chase"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Class is the behavioural class the PInTE paper assigns to a workload.
+// It drives preset parameterisation and is used by experiment reports to
+// annotate rows the same way the paper does.
+type Class int
+
+const (
+	// CoreBound workloads fit in the private caches; LLC access is rare
+	// (the paper marks these with '*': high MR error, low AMAT).
+	CoreBound Class = iota
+	// LLCBound workloads have working sets near LLC capacity (paper '+':
+	// they become DRAM-bound under contention, high IPC error).
+	LLCBound
+	// DRAMBound workloads miss past the LLC even in isolation (the
+	// paper's underlined / disagreement cases).
+	DRAMBound
+	// Balanced workloads exercise the whole hierarchy moderately.
+	Balanced
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case CoreBound:
+		return "core-bound"
+	case LLCBound:
+		return "llc-bound"
+	case DRAMBound:
+		return "dram-bound"
+	case Balanced:
+		return "balanced"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Region is one logical data structure the synthetic workload touches.
+type Region struct {
+	SizeBytes uint64  // region footprint; rounded up to a 64-byte block
+	Weight    float64 // relative probability an access lands here
+	Pattern   Pattern
+	Stride    uint64 // bytes; used by Strided (0 means 64)
+}
+
+// BranchKind selects how a synthetic branch decides its direction.
+type BranchKind int
+
+const (
+	// BiasedBranch is taken with a fixed per-branch probability.
+	BiasedBranch BranchKind = iota
+	// LoopBranch is taken N-1 out of every N executions.
+	LoopBranch
+	// CorrelatedBranch depends on recent global history; simple
+	// predictors (bimodal) cannot learn it but history-based ones can.
+	CorrelatedBranch
+)
+
+// Spec parameterises a synthetic workload. The zero value is not useful;
+// use a preset from Presets or fill in at least one Region.
+type Spec struct {
+	Name  string
+	Suite string // "SPEC2006", "SPEC2017" or "" for ad-hoc workloads
+	Class Class
+
+	// MemFrac is the fraction of instructions carrying a memory operand.
+	MemFrac float64
+	// StoreFrac is the probability a memory instruction writes
+	// (possibly in addition to a load).
+	StoreFrac float64
+	// SecondLoadFrac is the probability a load instruction carries a
+	// second independent source operand.
+	SecondLoadFrac float64
+
+	// BranchFrac is the fraction of instructions that are branches.
+	BranchFrac float64
+	// BranchEntropy in [0,1]: 0 = fully biased/predictable branches,
+	// 1 = coin flips. Intermediate values mix biased, loop and
+	// correlated branches.
+	BranchEntropy float64
+
+	Regions []Region
+
+	// PhasePeriod, when non-zero, alternates the workload between two
+	// phases every PhasePeriod instructions: odd phases rotate the
+	// region weights, modelling simpoint-style phase behaviour.
+	PhasePeriod uint64
+
+	// MLP is the memory-level-parallelism hint consumed by the core
+	// timing model (how many independent misses overlap). 0 means 2.
+	MLP int
+
+	// CodeBytes is the static code footprint (instruction side).
+	// 0 means 16KB, which fits L1I.
+	CodeBytes uint64
+}
+
+// Footprint returns the total data footprint of the spec in bytes.
+func (s *Spec) Footprint() uint64 {
+	var total uint64
+	for _, r := range s.Regions {
+		total += r.SizeBytes
+	}
+	return total
+}
+
+// Validate reports structural problems with the spec.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("trace: spec has no name")
+	}
+	if len(s.Regions) == 0 {
+		return fmt.Errorf("trace: spec %s has no regions", s.Name)
+	}
+	var w float64
+	for i, r := range s.Regions {
+		if r.SizeBytes == 0 {
+			return fmt.Errorf("trace: spec %s region %d has zero size", s.Name, i)
+		}
+		if r.Weight < 0 {
+			return fmt.Errorf("trace: spec %s region %d has negative weight", s.Name, i)
+		}
+		w += r.Weight
+	}
+	if w <= 0 {
+		return fmt.Errorf("trace: spec %s has zero total region weight", s.Name)
+	}
+	if s.MemFrac < 0 || s.MemFrac > 1 {
+		return fmt.Errorf("trace: spec %s MemFrac %v out of [0,1]", s.Name, s.MemFrac)
+	}
+	if s.BranchFrac < 0 || s.BranchFrac+s.MemFrac > 1 {
+		return fmt.Errorf("trace: spec %s MemFrac+BranchFrac exceeds 1", s.Name)
+	}
+	return nil
+}
+
+const blockBytes = 64
+
+// Full-period LCG constants for the pointer-chase walk (period 2^k for
+// any power-of-two modulus: multiplier ≡ 1 mod 4, increment odd).
+const (
+	ptrChaseA = 0xd1342543de82ef95 // ≡ 1 mod 4
+	ptrChaseC = 0x9e3779b97f4a7c15 // odd
+)
+
+// Generator produces a deterministic synthetic instruction stream from a
+// Spec. It implements Reader and Rewinder. Two generators built with the
+// same spec, seed and base address produce identical streams.
+type Generator struct {
+	spec Spec
+	seed uint64
+	base uint64 // address-space base (per-core offset in multi-core runs)
+
+	rng     *rand.Rand
+	issued  uint64
+	regions []regionState
+	cumW    []float64 // cumulative region weights for current phase
+	cumWAlt []float64 // cumulative weights for the odd phase
+	phase   uint64
+
+	// instruction side
+	codeBlocks int
+	curBlock   int
+	blockPos   int
+	blockLen   int
+
+	branches []branchState
+	history  uint64
+}
+
+type regionState struct {
+	base   uint64
+	size   uint64 // bytes, multiple of 8
+	cursor uint64 // byte offset within region
+	ptr    uint64 // pointer-chase state: current word index
+	words  uint64 // pointer-chase node count (power of two)
+}
+
+type branchState struct {
+	kind   BranchKind
+	bias   float64 // BiasedBranch
+	period uint32  // LoopBranch
+	count  uint32
+	histK  uint // CorrelatedBranch: which history bit decides
+}
+
+// NewGenerator builds a generator for spec. The seed selects the random
+// stream; base offsets every generated address (use distinct bases for
+// co-running cores so they do not share data).
+func NewGenerator(spec Spec, seed uint64, base uint64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{spec: spec, seed: seed, base: base}
+	g.Rewind()
+	return g, nil
+}
+
+// MustGenerator is NewGenerator that panics on an invalid spec; intended
+// for preset specs that are validated by construction.
+func MustGenerator(spec Spec, seed uint64, base uint64) *Generator {
+	g, err := NewGenerator(spec, seed, base)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Spec returns the generator's workload spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Rewind restarts the stream from the beginning; the regenerated stream is
+// identical to the original.
+func (g *Generator) Rewind() {
+	spec := &g.spec
+	g.rng = rand.New(rand.NewPCG(g.seed, 0x9e3779b97f4a7c15))
+	g.issued = 0
+	g.phase = 0
+	g.history = 0
+
+	// Lay regions out contiguously with a guard gap so that distinct
+	// regions never share a cache block.
+	g.regions = g.regions[:0]
+	next := g.base + 1<<20 // leave page zero unused
+	for _, r := range spec.Regions {
+		size := (r.SizeBytes + blockBytes - 1) / blockBytes * blockBytes
+		g.regions = append(g.regions, regionState{base: next, size: size})
+		next += size + 1<<20
+	}
+	// Pointer-chase regions walk a full-period permutation of their
+	// nodes, so the node count is rounded up to a power of two (the
+	// footprint grows by at most 2×; presets account for this).
+	for i := range g.regions {
+		if spec.Regions[i].Pattern == PointerChase {
+			words := uint64(1)
+			for words < g.regions[i].size/8 {
+				words <<= 1
+			}
+			g.regions[i].words = words
+			g.regions[i].size = words * 8
+			g.regions[i].ptr = words / 2
+		}
+	}
+
+	g.cumW = cumulative(spec.Regions, 0)
+	g.cumWAlt = cumulative(spec.Regions, 1)
+
+	code := spec.CodeBytes
+	if code == 0 {
+		code = 16 << 10
+	}
+	g.codeBlocks = int(code / 32) // ~8 instructions of 4 bytes per block
+	if g.codeBlocks < 2 {
+		g.codeBlocks = 2
+	}
+	g.curBlock = 0
+	g.blockPos = 0
+	g.blockLen = g.nextBlockLen()
+
+	// A fixed population of static branches with deterministic kinds.
+	g.branches = g.branches[:0]
+	nb := 64
+	for i := 0; i < nb; i++ {
+		g.branches = append(g.branches, g.makeBranch(i))
+	}
+}
+
+// cumulative builds the cumulative weight table; rotation != 0 rotates the
+// weights by one region, providing the alternate phase's mixture.
+func cumulative(regions []Region, rotation int) []float64 {
+	cum := make([]float64, len(regions))
+	var total float64
+	for i := range regions {
+		total += regions[(i+rotation)%len(regions)].Weight
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+func (g *Generator) makeBranch(i int) branchState {
+	e := g.spec.BranchEntropy
+	r := g.rng.Float64()
+	switch {
+	case r < e*0.5:
+		// Hard branch: close to a coin flip.
+		return branchState{kind: BiasedBranch, bias: 0.35 + 0.3*g.rng.Float64()}
+	case r < e:
+		// History-correlated branch.
+		return branchState{kind: CorrelatedBranch, histK: uint(1 + i%8)}
+	case r < e+0.3:
+		// Loop branch with a modest trip count.
+		return branchState{kind: LoopBranch, period: uint32(4 + g.rng.IntN(28))}
+	default:
+		// Strongly biased branch.
+		bias := 0.02 + 0.03*g.rng.Float64()
+		if i%2 == 0 {
+			bias = 1 - bias
+		}
+		return branchState{kind: BiasedBranch, bias: bias}
+	}
+}
+
+func (g *Generator) nextBlockLen() int {
+	return 4 + g.rng.IntN(8)
+}
+
+// Next implements Reader. It never returns an error other than io.EOF,
+// and only when the generator was wrapped by a Limiter.
+func (g *Generator) Next(rec *Record) error {
+	rec.Reset()
+	spec := &g.spec
+
+	rec.PC = codeBase + uint64(g.curBlock)*32 + uint64(g.blockPos)*4
+	g.blockPos++
+
+	endOfBlock := g.blockPos >= g.blockLen
+	r := g.rng.Float64()
+	switch {
+	case endOfBlock:
+		g.emitBranch(rec)
+	case r < spec.MemFrac:
+		g.emitMem(rec)
+	default:
+		// plain ALU instruction
+	}
+
+	g.issued++
+	if spec.PhasePeriod != 0 && g.issued%spec.PhasePeriod == 0 {
+		g.phase++
+	}
+	return nil
+}
+
+// codeBase keeps instruction addresses far from data regions.
+const codeBase = 0x40000000
+
+func (g *Generator) emitBranch(rec *Record) {
+	bi := g.curBlock % len(g.branches)
+	b := &g.branches[bi]
+	taken := false
+	switch b.kind {
+	case BiasedBranch:
+		taken = g.rng.Float64() < b.bias
+	case LoopBranch:
+		b.count++
+		taken = b.count%b.period != 0
+	case CorrelatedBranch:
+		taken = (g.history>>b.histK)&1 == 1
+	}
+	g.history = g.history<<1 | b2u(taken)
+
+	rec.IsBranch = true
+	rec.Taken = taken
+	if taken {
+		// Jump to a deterministic successor block derived from the
+		// branch's own state, keeping the code footprint stable.
+		g.curBlock = (g.curBlock*7 + 3 + int(b2u(taken))) % g.codeBlocks
+	} else {
+		g.curBlock = (g.curBlock + 1) % g.codeBlocks
+	}
+	rec.Target = codeBase + uint64(g.curBlock)*32
+	g.blockPos = 0
+	g.blockLen = g.nextBlockLen()
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (g *Generator) emitMem(rec *Record) {
+	spec := &g.spec
+	ri := g.pickRegion()
+	addr, dep := g.nextAddr(ri)
+	if g.rng.Float64() < spec.StoreFrac {
+		rec.Store = addr
+		// Stores to pointer-chase regions still read the pointer.
+		if dep {
+			rec.Load0 = addr
+			rec.Dependent = true
+		}
+		return
+	}
+	rec.Load0 = addr
+	rec.Dependent = dep
+	if !dep && g.rng.Float64() < spec.SecondLoadFrac {
+		ri2 := g.pickRegion()
+		addr2, dep2 := g.nextAddr(ri2)
+		if !dep2 {
+			rec.Load1 = addr2
+		}
+	}
+}
+
+func (g *Generator) pickRegion() int {
+	cum := g.cumW
+	if g.phase%2 == 1 {
+		cum = g.cumWAlt
+	}
+	r := g.rng.Float64()
+	for i, c := range cum {
+		if r <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// nextAddr produces the next address within region ri and reports whether
+// the access is dependent (pointer chase).
+func (g *Generator) nextAddr(ri int) (addr uint64, dependent bool) {
+	rs := &g.regions[ri]
+	spec := g.spec.Regions[ri]
+	switch spec.Pattern {
+	case Sequential:
+		rs.cursor = (rs.cursor + 8) % rs.size
+		return rs.base + rs.cursor, false
+	case Strided:
+		stride := spec.Stride
+		if stride == 0 {
+			stride = blockBytes
+		}
+		rs.cursor = (rs.cursor + stride) % rs.size
+		return rs.base + rs.cursor, false
+	case Random:
+		off := uint64(g.rng.Int64N(int64(rs.size/8))) * 8
+		return rs.base + off, false
+	case PointerChase:
+		// Full-period LCG over the region's 2^k nodes: every node is
+		// visited exactly once per period (the linked list covers the
+		// whole region) in a hard-to-prefetch order, and each address
+		// depends on the previous one, so the loads serialise.
+		rs.ptr = (rs.ptr*ptrChaseA + ptrChaseC) & (rs.words - 1)
+		return rs.base + rs.ptr*8, true
+	}
+	return rs.base, false
+}
+
+// Limiter wraps a Reader and ends the stream after N records. It forwards
+// Rewind to the wrapped reader when supported and resets its own count.
+type Limiter struct {
+	R Reader
+	N uint64
+
+	seen uint64
+}
+
+// Limit wraps r so that it ends after n records.
+func Limit(r Reader, n uint64) *Limiter { return &Limiter{R: r, N: n} }
+
+// Next implements Reader.
+func (l *Limiter) Next(rec *Record) error {
+	if l.seen >= l.N {
+		return io.EOF
+	}
+	if err := l.R.Next(rec); err != nil {
+		return err
+	}
+	l.seen++
+	return nil
+}
+
+// Rewind implements Rewinder.
+func (l *Limiter) Rewind() {
+	l.seen = 0
+	if rw, ok := l.R.(Rewinder); ok {
+		rw.Rewind()
+	}
+}

@@ -1,0 +1,366 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file defines the synthetic stand-ins for the 49 SPEC CPU 2006/2017
+// benchmarks that appear in the PInTE paper's Table II. Each preset is
+// parameterised so the synthetic workload lands in the behavioural class
+// the paper observes for that benchmark:
+//
+//   - core-bound:   working set fits the private caches; LLC traffic is
+//     rare and dominated by L2 spills (paper's '*' rows).
+//   - llc-bound:    working set is near LLC capacity; contention pushes
+//     the workload to DRAM (paper's '+' rows).
+//   - dram-bound:   misses past the LLC even in isolation, streaming or
+//     pointer-chasing (paper's underlined / disagreement rows).
+//   - balanced:     moderate pressure at every level, often phased.
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// Preset bundles a spec with the paper's per-benchmark annotations so
+// experiment reports can mark rows the way Table II and Figure 8 do.
+type Preset struct {
+	Spec Spec
+
+	// HighAMATIPCError marks benchmarks the paper underlines in Table
+	// II (DRAM dependency beyond LLC: AMAT and IPC error >= 10%).
+	HighAMATIPCError bool
+	// HighMRError marks the paper's '*' rows (core-bound).
+	HighMRError bool
+	// HighIPCError marks the paper's '+' rows (LLC-bound).
+	HighIPCError bool
+	// Disagreement marks §V-C blue-border benchmarks where PInTE and
+	// 2nd-Trace sensitivity classifications disagree.
+	Disagreement bool
+	// Sensitivity is the paper's §V-B classification at 5% TPL:
+	// "high", "low" or "mixed".
+	Sensitivity string
+}
+
+// presets maps benchmark name to its preset. Populated by init from the
+// declaration tables below.
+var presets = map[string]Preset{}
+
+// Names returns all preset benchmark names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NamesBySuite returns preset names belonging to suite ("SPEC2006" or
+// "SPEC2017"), sorted.
+func NamesBySuite(suite string) []string {
+	var names []string
+	for n, p := range presets {
+		if p.Spec.Suite == suite {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the preset for a benchmark name.
+func Lookup(name string) (Preset, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Preset{}, fmt.Errorf("trace: unknown benchmark preset %q", name)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup that panics on unknown names.
+func MustLookup(name string) Preset {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SpecFor returns the workload spec for a benchmark name.
+func SpecFor(name string) (Spec, error) {
+	p, err := Lookup(name)
+	return p.Spec, err
+}
+
+// register validates and installs a preset; it panics on invalid specs so
+// that preset errors fail fast at package init.
+func register(p Preset) {
+	if err := p.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := presets[p.Spec.Name]; dup {
+		panic("trace: duplicate preset " + p.Spec.Name)
+	}
+	presets[p.Spec.Name] = p
+}
+
+// Shorthand builders. `v` perturbs sizes/fractions slightly so that
+// same-class benchmarks still behave distinctly; it is a small integer
+// unique per benchmark within its class.
+
+// coreBound: private-cache resident. spill adds a low-weight cold region
+// that produces occasional L2 spills into the LLC (the paper's
+// explanation for imagick/leela/tonto/hmmer MR error).
+func coreBound(name, suite string, v int, spill bool) Spec {
+	hot := uint64(12+4*(v%4)) * kb   // fits L1D
+	warm := uint64(96+32*(v%3)) * kb // fits L2
+	s := Spec{
+		Name:           name,
+		Suite:          suite,
+		Class:          CoreBound,
+		MemFrac:        0.26 + 0.02*float64(v%4),
+		StoreFrac:      0.28,
+		SecondLoadFrac: 0.15,
+		BranchFrac:     0.16,
+		BranchEntropy:  0.25 + 0.1*float64(v%3),
+		MLP:            4,
+		Regions: []Region{
+			{SizeBytes: hot, Weight: 0.75, Pattern: Random},
+			{SizeBytes: warm, Weight: 0.24, Pattern: Strided, Stride: 64},
+		},
+	}
+	if spill {
+		s.Regions = append(s.Regions,
+			Region{SizeBytes: uint64(2+v%2) * mb, Weight: 0.01, Pattern: Sequential})
+		s.StoreFrac = 0.5 // spills show up as LLC writebacks
+	}
+	return s
+}
+
+// llcBound: working set comparable to the 4MB LLC; performance collapses
+// when contention steals its blocks.
+func llcBound(name, suite string, v int) Spec {
+	main := uint64(2500+400*(v%4)) * kb
+	return Spec{
+		Name:           name,
+		Suite:          suite,
+		Class:          LLCBound,
+		MemFrac:        0.34 + 0.02*float64(v%3),
+		StoreFrac:      0.22,
+		SecondLoadFrac: 0.2,
+		BranchFrac:     0.14,
+		BranchEntropy:  0.35,
+		MLP:            2,
+		Regions: []Region{
+			{SizeBytes: 24 * kb, Weight: 0.35, Pattern: Random},
+			{SizeBytes: main, Weight: 0.6, Pattern: Random},
+			{SizeBytes: 256 * kb, Weight: 0.05, Pattern: Strided, Stride: 64 * uint64(1+v%2)},
+		},
+	}
+}
+
+// dramStream: streaming far past LLC capacity (lbm, libquantum, bwaves…).
+// Strides vary across benchmarks (unit, double, triple block) the way
+// SPEC fp kernels mix array strides; multi-block strides are what an
+// IP-stride prefetcher catches and a next-line prefetcher does not.
+func dramStream(name, suite string, v int) Spec {
+	big := uint64(48+16*(v%3)) * mb
+	return Spec{
+		Name:           name,
+		Suite:          suite,
+		Class:          DRAMBound,
+		MemFrac:        0.4 + 0.02*float64(v%3),
+		StoreFrac:      0.3,
+		SecondLoadFrac: 0.25,
+		BranchFrac:     0.08,
+		BranchEntropy:  0.1,
+		MLP:            6,
+		Regions: []Region{
+			{SizeBytes: big, Weight: 0.85, Pattern: Strided, Stride: 64 * uint64(1+v%3)},
+			{SizeBytes: 64 * kb, Weight: 0.15, Pattern: Random},
+		},
+	}
+}
+
+// dramPointer: large pointer-chasing working set (mcf, omnetpp-like but
+// far beyond LLC). MLP 1: dependent loads serialise.
+func dramPointer(name, suite string, v int) Spec {
+	big := uint64(64+32*(v%2)) * mb
+	return Spec{
+		Name:           name,
+		Suite:          suite,
+		Class:          DRAMBound,
+		MemFrac:        0.36 + 0.02*float64(v%2),
+		StoreFrac:      0.12,
+		SecondLoadFrac: 0,
+		BranchFrac:     0.18,
+		BranchEntropy:  0.5,
+		MLP:            1,
+		Regions: []Region{
+			{SizeBytes: big, Weight: 0.7, Pattern: PointerChase},
+			{SizeBytes: 32 * kb, Weight: 0.3, Pattern: Random},
+		},
+	}
+}
+
+// llcPointer: pointer chasing within an LLC-sized heap (omnetpp, astar,
+// xalancbmk, soplex — the '+' class that turns DRAM-bound under theft).
+func llcPointer(name, suite string, v int) Spec {
+	// Pointer-chase node counts round up to powers of two, so the heap
+	// is split into a 2MB main arena plus a smaller secondary one;
+	// total footprint stays comfortably inside the 4MB LLC but far
+	// above the 512KB L2 — the workload lives off LLC hits and turns
+	// DRAM-bound when thefts steal them.
+	second := uint64(256<<(v%2)) * kb
+	return Spec{
+		Name:           name,
+		Suite:          suite,
+		Class:          LLCBound,
+		MemFrac:        0.32,
+		StoreFrac:      0.18,
+		SecondLoadFrac: 0,
+		BranchFrac:     0.18,
+		BranchEntropy:  0.45 + 0.05*float64(v%3),
+		MLP:            1,
+		Regions: []Region{
+			{SizeBytes: 2 * mb, Weight: 0.55 + 0.03*float64(v%3), Pattern: PointerChase},
+			{SizeBytes: second, Weight: 0.12, Pattern: PointerChase},
+			{SizeBytes: 20 * kb, Weight: 0.3, Pattern: Random},
+		},
+	}
+}
+
+// balanced: moderate pressure everywhere with phase behaviour (gcc,
+// bzip2, cam4, pop2 — the paper's "mixed" sensitivity group).
+func balanced(name, suite string, v int) Spec {
+	return Spec{
+		Name:           name,
+		Suite:          suite,
+		Class:          Balanced,
+		MemFrac:        0.3,
+		StoreFrac:      0.25,
+		SecondLoadFrac: 0.15,
+		BranchFrac:     0.17,
+		BranchEntropy:  0.4,
+		MLP:            2,
+		PhasePeriod:    200_000,
+		Regions: []Region{
+			{SizeBytes: 24 * kb, Weight: 0.4, Pattern: Random},
+			{SizeBytes: uint64(1200+300*(v%3)) * kb, Weight: 0.35, Pattern: Random},
+			{SizeBytes: uint64(12+4*(v%3)) * mb, Weight: 0.25, Pattern: Strided, Stride: 128},
+		},
+	}
+}
+
+type presetDecl struct {
+	name  string
+	build func(name, suite string, v int) Spec
+	v     int
+}
+
+func init() {
+	cb := func(name, suite string, v int) Spec { return coreBound(name, suite, v, false) }
+	cbSpill := func(name, suite string, v int) Spec { return coreBound(name, suite, v, true) }
+
+	spec2006 := []presetDecl{
+		{"400.perlbench", cb, 0},
+		{"401.bzip2", balanced, 0},
+		{"403.gcc", balanced, 1},
+		{"410.bwaves", dramStream, 0},
+		{"416.gamess", cb, 1},
+		{"429.mcf", dramPointer, 0},
+		{"433.milc", llcBound, 0},
+		{"434.zeusmp", dramStream, 1},
+		{"435.gromacs", cb, 2},
+		{"436.cactusADM", dramStream, 2},
+		{"437.leslie3d", dramStream, 3},
+		{"444.namd", cb, 3},
+		{"445.gobmk", cb, 4},
+		{"447.dealII", cb, 5},
+		{"450.soplex", llcPointer, 0},
+		{"453.povray", cb, 6},
+		{"454.calculix", cb, 7},
+		{"456.hmmer", cbSpill, 0},
+		{"458.sjeng", cb, 8},
+		{"459.GemsFDTD", dramStream, 4},
+		{"462.libquantum", dramStream, 5},
+		{"464.h264ref", cb, 9},
+		{"465.tonto", cbSpill, 1},
+		{"470.lbm", dramStream, 6},
+		{"471.omnetpp", llcPointer, 1},
+		{"473.astar", llcPointer, 2},
+		{"481.wrf", dramStream, 7},
+		{"482.sphinx3", llcBound, 1},
+		{"483.xalancbmk", llcPointer, 3},
+	}
+	spec2017 := []presetDecl{
+		{"600.perlbench", cb, 10},
+		{"602.gcc", dramPointer, 1},
+		{"603.bwaves", dramStream, 8},
+		{"605.mcf", llcPointer, 4},
+		{"607.cactuBSSN", dramStream, 9},
+		{"619.lbm", dramStream, 10},
+		{"620.omnetpp", llcPointer, 5},
+		{"621.wrf", dramStream, 11},
+		{"623.xalancbmk", llcPointer, 6},
+		{"625.x264", cb, 11},
+		{"627.cam4", balanced, 2},
+		{"628.pop2", balanced, 3},
+		{"631.deepsjeng", cb, 12},
+		{"638.imagick", cbSpill, 2},
+		{"641.leela", cbSpill, 3},
+		{"644.nab", cb, 13},
+		{"648.exchange2", cb, 14},
+		{"649.fotonik3d", dramStream, 12},
+		{"654.roms", dramStream, 13},
+		{"657.xz", balanced, 4},
+	}
+
+	for _, d := range spec2006 {
+		register(annotate(Preset{Spec: d.build(d.name, "SPEC2006", d.v)}))
+	}
+	for _, d := range spec2017 {
+		register(annotate(Preset{Spec: d.build(d.name, "SPEC2017", d.v)}))
+	}
+}
+
+// Paper annotation tables (Table II key, §V-B, §V-C).
+var (
+	highAMATIPC = set("462.libquantum", "482.sphinx3", "602.gcc")
+	highMR      = set("456.hmmer", "465.tonto", "638.imagick", "641.leela")
+	highIPC     = set("429.mcf", "433.milc", "450.soplex", "471.omnetpp",
+		"473.astar", "483.xalancbmk", "605.mcf")
+	disagree = set("429.mcf", "433.milc", "437.leslie3d", "462.libquantum",
+		"473.astar", "481.wrf", "483.xalancbmk", "602.gcc")
+	highSens = set("450.soplex", "456.hmmer", "470.lbm", "471.omnetpp",
+		"482.sphinx3", "619.lbm")
+	mixedSens = set("401.bzip2", "403.gcc", "459.GemsFDTD", "464.h264ref",
+		"605.mcf", "621.wrf", "623.xalancbmk", "627.cam4", "628.pop2")
+)
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func annotate(p Preset) Preset {
+	n := p.Spec.Name
+	p.HighAMATIPCError = highAMATIPC[n]
+	p.HighMRError = highMR[n]
+	p.HighIPCError = highIPC[n]
+	p.Disagreement = disagree[n]
+	switch {
+	case highSens[n]:
+		p.Sensitivity = "high"
+	case mixedSens[n]:
+		p.Sensitivity = "mixed"
+	default:
+		p.Sensitivity = "low"
+	}
+	return p
+}

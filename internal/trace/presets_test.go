@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetCountsMatchPaper(t *testing.T) {
+	if got := len(NamesBySuite("SPEC2006")); got != 29 {
+		t.Errorf("SPEC2006 presets: got %d, want 29 (Table II rows)", got)
+	}
+	if got := len(NamesBySuite("SPEC2017")); got != 20 {
+		t.Errorf("SPEC2017 presets: got %d, want 20 (Table II rows)", got)
+	}
+	if got := len(Names()); got != 49 {
+		t.Errorf("total presets: got %d, want 49", got)
+	}
+}
+
+func TestPresetsValidateAndGenerate(t *testing.T) {
+	for _, name := range Names() {
+		p := MustLookup(name)
+		if err := p.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		g, err := NewGenerator(p.Spec, 1, 0)
+		if err != nil {
+			t.Errorf("%s: generator: %v", name, err)
+			continue
+		}
+		var rec Record
+		for i := 0; i < 1000; i++ {
+			if err := g.Next(&rec); err != nil {
+				t.Errorf("%s: Next: %v", name, err)
+				break
+			}
+		}
+	}
+}
+
+func TestPresetClassesHaveExpectedFootprints(t *testing.T) {
+	const (
+		l2Size  = 512 << 10
+		llcSize = 4 << 20
+	)
+	for _, name := range Names() {
+		p := MustLookup(name)
+		fp := p.Spec.Footprint()
+		switch p.Spec.Class {
+		case CoreBound:
+			// Hot+warm regions must fit private caches; a low-weight
+			// spill region may exceed them.
+			hot := p.Spec.Regions[0].SizeBytes + p.Spec.Regions[1].SizeBytes
+			if hot > l2Size {
+				t.Errorf("%s: core-bound hot set %d exceeds L2 %d", name, hot, l2Size)
+			}
+		case LLCBound:
+			if fp < l2Size || fp > llcSize {
+				t.Errorf("%s: llc-bound footprint %d outside (L2, LLC]", name, fp)
+			}
+		case DRAMBound:
+			if fp <= llcSize {
+				t.Errorf("%s: dram-bound footprint %d does not exceed LLC %d", name, fp, llcSize)
+			}
+		}
+	}
+}
+
+func TestPresetAnnotationsMatchPaperTables(t *testing.T) {
+	// Spot-check the paper's Table II key and §V-B/§V-C lists.
+	checks := []struct {
+		name string
+		get  func(Preset) bool
+	}{
+		{"429.mcf", func(p Preset) bool { return p.HighIPCError && p.Disagreement }},
+		{"456.hmmer", func(p Preset) bool { return p.HighMRError && p.Sensitivity == "high" }},
+		{"462.libquantum", func(p Preset) bool { return p.HighAMATIPCError }},
+		{"602.gcc", func(p Preset) bool { return p.HighAMATIPCError && p.Disagreement }},
+		{"450.soplex", func(p Preset) bool { return p.Sensitivity == "high" }},
+		{"627.cam4", func(p Preset) bool { return p.Sensitivity == "mixed" }},
+		{"648.exchange2", func(p Preset) bool { return p.Sensitivity == "low" }},
+	}
+	for _, c := range checks {
+		if !c.get(MustLookup(c.name)) {
+			t.Errorf("%s: annotation mismatch with paper tables", c.name)
+		}
+	}
+	// High-sensitivity benchmarks are 12% of the paper's set (6 of ~49).
+	high := 0
+	for _, n := range Names() {
+		if MustLookup(n).Sensitivity == "high" {
+			high++
+		}
+	}
+	if high != 6 {
+		t.Errorf("high-sensitivity presets: got %d, want 6 (paper §V-B)", high)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("999.nonesuch"); err == nil {
+		t.Fatal("unknown preset accepted")
+	} else if !strings.Contains(err.Error(), "nonesuch") {
+		t.Errorf("error should name the preset: %v", err)
+	}
+}
+
+func TestNamesSortedAndUnique(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("names not sorted/unique at %d: %s vs %s", i, names[i-1], names[i])
+		}
+	}
+}

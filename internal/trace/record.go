@@ -1,0 +1,74 @@
+// Package trace defines the instruction-trace model that drives the
+// simulator, a compact binary on-disk trace format, and a deterministic
+// synthetic workload generator with presets that stand in for the SPEC
+// CPU 2006/2017 simpoint traces used by the PInTE paper.
+//
+// The real DPC-3 trace set (188 one-billion-instruction simpoints) is not
+// redistributable, so each SPEC benchmark row in the paper's Table II has
+// a named synthetic preset tuned to land in the same behavioural class
+// (core-bound, LLC-bound, DRAM-bound, streaming, pointer-chasing).
+package trace
+
+import "errors"
+
+// Record is one retired instruction as seen by the simulator. It mirrors
+// the information a ChampSim-style trace carries: the instruction PC,
+// branch behaviour, and up to two source memory operands plus one
+// destination memory operand.
+//
+// Address fields hold byte addresses; zero means "no operand" (the
+// generator never emits address zero).
+type Record struct {
+	PC     uint64 // instruction address
+	Load0  uint64 // first source memory address, 0 if none
+	Load1  uint64 // second source memory address, 0 if none
+	Store  uint64 // destination memory address, 0 if none
+	Target uint64 // branch target, 0 if not a branch
+
+	IsBranch bool
+	Taken    bool
+	// Dependent marks a load whose address depends on the previous
+	// load's data (pointer chasing). The core model serialises such
+	// loads instead of overlapping them.
+	Dependent bool
+}
+
+// HasMem reports whether the record carries any memory operand.
+func (r *Record) HasMem() bool {
+	return r.Load0 != 0 || r.Load1 != 0 || r.Store != 0
+}
+
+// Loads returns the number of source memory operands.
+func (r *Record) Loads() int {
+	n := 0
+	if r.Load0 != 0 {
+		n++
+	}
+	if r.Load1 != 0 {
+		n++
+	}
+	return n
+}
+
+// Reset zeroes the record in place so it can be reused across Next calls.
+func (r *Record) Reset() {
+	*r = Record{}
+}
+
+// Reader yields a stream of instruction records. Next fills rec and
+// returns nil, or returns io.EOF when the stream is exhausted. A Reader
+// is not safe for concurrent use.
+type Reader interface {
+	Next(rec *Record) error
+}
+
+// Rewinder is implemented by readers that can restart their stream from
+// the beginning. The multi-programmed driver uses it to restart a faster
+// trace while a slower co-runner finishes, matching ChampSim behaviour.
+type Rewinder interface {
+	Rewind()
+}
+
+// ErrCorrupt is returned by the file reader when a trace file fails
+// structural validation.
+var ErrCorrupt = errors.New("trace: corrupt trace file")

@@ -1,0 +1,88 @@
+package pinte
+
+import (
+	"fmt"
+	"math"
+)
+
+// CalibrateOptions tunes Calibrate's search.
+type CalibrateOptions struct {
+	// Tolerance is the acceptable |observed − target| contention-rate
+	// gap; 0 means 0.01 (one percentage point).
+	Tolerance float64
+	// MaxRuns bounds the number of simulations; 0 means 12.
+	MaxRuns int
+}
+
+// Calibrate finds the P_Induce that makes e's workload experience
+// approximately the target contention rate (thefts experienced per LLC
+// access, in [0, 1)).
+//
+// P_Induce is only a proxy for the contention a workload actually sees
+// (§IV-C): the observed rate depends on the workload's access pattern and
+// residency. The observed rate is monotone in P_Induce, so a bisection
+// over [0, 1] converges quickly; Calibrate returns the chosen probability
+// and the result of the final run at that setting.
+//
+// Workloads that barely touch the LLC cannot reach high contention rates
+// at any probability; when even P_Induce = 1 falls short of the target,
+// Calibrate returns that run with an error describing the reachable
+// ceiling.
+func Calibrate(e Experiment, target float64, opts CalibrateOptions) (float64, *Result, error) {
+	if target < 0 || target >= 1 {
+		return 0, nil, fmt.Errorf("pinte: calibration target %v outside [0, 1)", target)
+	}
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 0.01
+	}
+	maxRuns := opts.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 12
+	}
+	e.Mode = ModePInTE
+
+	runAt := func(p float64) (*Result, error) {
+		e.PInduce = p
+		return Run(e)
+	}
+
+	// Probe the ceiling first: if even full-rate injection cannot reach
+	// the target, report the ceiling rather than bisecting uselessly.
+	hiRes, err := runAt(1)
+	if err != nil {
+		return 0, nil, err
+	}
+	if hiRes.ContentionRate+tol < target {
+		return 1, hiRes, fmt.Errorf(
+			"pinte: workload %s reaches at most %.3f contention at P_Induce=1, below target %.3f",
+			e.Workload, hiRes.ContentionRate, target)
+	}
+	if math.Abs(hiRes.ContentionRate-target) <= tol {
+		return 1, hiRes, nil
+	}
+
+	lo, hi := 0.0, 1.0
+	best, bestRes := 1.0, hiRes
+	bestGap := math.Abs(hiRes.ContentionRate - target)
+	for run := 1; run < maxRuns; run++ {
+		mid := (lo + hi) / 2
+		r, err := runAt(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		gap := math.Abs(r.ContentionRate - target)
+		if gap < bestGap {
+			best, bestRes, bestGap = mid, r, gap
+		}
+		if gap <= tol {
+			return mid, r, nil
+		}
+		if r.ContentionRate < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, bestRes, nil
+}

@@ -1,0 +1,82 @@
+package pinte
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrateReachesTarget(t *testing.T) {
+	e := tinyExp(Experiment{Workload: "433.milc"})
+	const target = 0.20
+	p, r, err := Calibrate(e, target, CalibrateOptions{Tolerance: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Fatalf("calibrated P_Induce %v out of range", p)
+	}
+	if math.Abs(r.ContentionRate-target) > 0.03 {
+		t.Fatalf("calibrated contention %v, target %v", r.ContentionRate, target)
+	}
+}
+
+func TestCalibrateUnreachableCeiling(t *testing.T) {
+	// A core-bound workload cannot reach 50% contention: its LLC
+	// accesses are too rare to observe thefts against it.
+	e := tinyExp(Experiment{Workload: "453.povray"})
+	p, r, err := Calibrate(e, 0.5, CalibrateOptions{})
+	if err == nil {
+		t.Fatalf("expected ceiling error, got p=%v rate=%v", p, r.ContentionRate)
+	}
+	if r == nil || p != 1 {
+		t.Fatal("ceiling error should carry the P_Induce=1 run")
+	}
+}
+
+func TestCalibrateRejectsBadTarget(t *testing.T) {
+	for _, target := range []float64{-0.1, 1.0, 2.0} {
+		if _, _, err := Calibrate(tinyExp(Experiment{Workload: "433.milc"}), target, CalibrateOptions{}); err == nil {
+			t.Errorf("target %v accepted", target)
+		}
+	}
+}
+
+func TestCalibrateZeroTarget(t *testing.T) {
+	e := tinyExp(Experiment{Workload: "433.milc"})
+	p, r, err := Calibrate(e, 0, CalibrateOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ContentionRate > 0.02 {
+		t.Fatalf("calibrated to %v for a zero target (p=%v)", r.ContentionRate, p)
+	}
+}
+
+func TestSecondTraceMultipleAdversaries(t *testing.T) {
+	iso, err := Run(tinyExp(Experiment{Workload: "433.milc"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(tinyExp(Experiment{
+		Workload: "433.milc", Mode: ModeSecondTrace, Adversary: "470.lbm",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Run(tinyExp(Experiment{
+		Workload:    "433.milc",
+		Mode:        ModeSecondTrace,
+		Adversary:   "470.lbm",
+		Adversaries: []string{"450.soplex", "619.lbm"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.ContentionRate <= one.ContentionRate {
+		t.Fatalf("more adversaries did not raise contention: %v vs %v",
+			three.ContentionRate, one.ContentionRate)
+	}
+	if three.IPC >= iso.IPC {
+		t.Fatal("four-way co-run did not hurt IPC")
+	}
+}

@@ -1,0 +1,81 @@
+package pinte_test
+
+import (
+	"fmt"
+
+	"repro/pinte"
+)
+
+// Example_basic runs a workload in isolation and under PInTE-induced
+// contention, then compares performance via weighted IPC (Eq 1).
+func Example_basic() {
+	iso, err := pinte.Run(pinte.Experiment{
+		Workload: "450.soplex",
+		Warmup:   50_000, ROI: 100_000,
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	con, err := pinte.Run(pinte.Experiment{
+		Workload: "450.soplex",
+		Mode:     pinte.ModePInTE,
+		PInduce:  0.5,
+		Warmup:   50_000, ROI: 100_000,
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if con.WeightedIPC(iso.IPC) < 1 {
+		fmt.Println("contention slowed the workload")
+	}
+	// Output: contention slowed the workload
+}
+
+// Example_sweep builds a contention curve over the paper's 12 P_Induce
+// configurations and classifies the workload's sensitivity at a 5% TPL.
+func Example_sweep() {
+	iso, err := pinte.Run(pinte.Experiment{
+		Workload: "453.povray",
+		Warmup:   30_000, ROI: 60_000,
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var weighted []float64
+	for _, p := range pinte.DefaultSweep()[:4] {
+		r, err := pinte.Run(pinte.Experiment{
+			Workload: "453.povray",
+			Mode:     pinte.ModePInTE,
+			PInduce:  p,
+			Warmup:   30_000, ROI: 60_000,
+			Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		weighted = append(weighted, r.WeightedIPC(iso.IPC))
+	}
+	class, _ := pinte.Sensitivity(weighted, 0)
+	fmt.Println("classification:", class)
+	// Output: classification: low
+}
+
+// Example_calibrate finds the injection probability that produces a
+// chosen contention rate for a workload.
+func Example_calibrate() {
+	p, r, err := pinte.Calibrate(pinte.Experiment{
+		Workload: "433.milc",
+		Warmup:   30_000, ROI: 80_000,
+		Seed: 1,
+	}, 0.25, pinte.CalibrateOptions{Tolerance: 0.05})
+	if err != nil {
+		panic(err)
+	}
+	if p > 0 && r.ContentionRate > 0.15 {
+		fmt.Println("calibrated")
+	}
+	// Output: calibrated
+}

@@ -1,0 +1,122 @@
+package pinte
+
+import (
+	"testing"
+)
+
+func tinyExp(e Experiment) Experiment {
+	e.Warmup = 30_000
+	e.ROI = 80_000
+	e.SampleEvery = 10_000
+	if e.Seed == 0 {
+		e.Seed = 1
+	}
+	return e
+}
+
+func TestRunIsolationAndPInTE(t *testing.T) {
+	iso, err := Run(tinyExp(Experiment{Workload: "450.soplex"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso.IPC <= 0 {
+		t.Fatal("zero IPC")
+	}
+	con, err := Run(tinyExp(Experiment{
+		Workload: "450.soplex", Mode: ModePInTE, PInduce: 0.5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.ContentionRate == 0 {
+		t.Fatal("no contention induced")
+	}
+	if w := con.WeightedIPC(iso.IPC); w >= 1 {
+		t.Fatalf("weighted IPC %v, want < 1 under contention", w)
+	}
+	if len(con.Samples) == 0 || len(con.ReuseHist) == 0 {
+		t.Fatal("samples or reuse histogram missing")
+	}
+}
+
+func TestRunSecondTraceValidation(t *testing.T) {
+	if _, err := Run(tinyExp(Experiment{Workload: "433.milc", Mode: ModeSecondTrace})); err == nil {
+		t.Fatal("missing adversary accepted")
+	}
+	if _, err := Run(tinyExp(Experiment{Workload: "433.milc", Mode: Mode(42)})); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestMachineKnobs(t *testing.T) {
+	r, err := Run(tinyExp(Experiment{
+		Workload: "433.milc",
+		Mode:     ModePInTE,
+		PInduce:  0.3,
+		Machine: Machine{
+			LLCPolicy: "rrip",
+			Inclusion: "ex",
+			Prefetch:  "NNI",
+			Branch:    "gshare",
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ContentionRate == 0 {
+		t.Fatal("engine inert with custom machine")
+	}
+	if _, err := Run(tinyExp(Experiment{
+		Workload: "433.milc",
+		Machine:  Machine{Inclusion: "bogus"},
+	})); err == nil {
+		t.Fatal("bad inclusion accepted")
+	}
+}
+
+func TestWorkloadsLists(t *testing.T) {
+	if len(Workloads()) != 49 {
+		t.Fatalf("Workloads() = %d names, want 49", len(Workloads()))
+	}
+	if len(WorkloadsBySuite("SPEC2017")) != 20 {
+		t.Fatal("suite filter broken")
+	}
+}
+
+func TestDefaultSweep(t *testing.T) {
+	if len(DefaultSweep()) != 12 {
+		t.Fatal("sweep should have the paper's 12 points")
+	}
+}
+
+func TestKLAndSensitivityHelpers(t *testing.T) {
+	if d := KLDivergenceBits([]float64{1, 2, 3}, []float64{1, 2, 3}); d != 0 {
+		t.Errorf("KL of identical = %v", d)
+	}
+	class, scp := Sensitivity([]float64{1, 1, 1, 1}, 0)
+	if class != "low" || scp != 0 {
+		t.Errorf("flat curve classified (%s, %v)", class, scp)
+	}
+	class, scp = Sensitivity([]float64{0.5, 0.6, 0.7, 0.4}, 0)
+	if class != "high" || scp != 1 {
+		t.Errorf("collapsed curve classified (%s, %v)", class, scp)
+	}
+}
+
+func TestLLCSizeOverrideAccepted(t *testing.T) {
+	// The size override must build a valid machine with the remaining
+	// levels defaulted (see internal/sim for the capacity-effect test).
+	r, err := Run(tinyExp(Experiment{
+		Workload: "433.milc", Seed: 3,
+		Machine: Machine{LLCSizeBytes: 16 << 20},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Fatal("override run produced no progress")
+	}
+	if len(r.ReuseHist) != 16 {
+		t.Fatalf("overridden LLC reports %d ways", len(r.ReuseHist))
+	}
+}

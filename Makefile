@@ -1,0 +1,30 @@
+# Build/test entry points. `make ci` is the gate every PR must pass:
+# formatting, vet, a full build, the full test suite, and a race-checked
+# run of the concurrent execution stack (internal/sim + internal/runner).
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build test race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/runner/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

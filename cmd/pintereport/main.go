@@ -11,16 +11,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/expt"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -48,7 +53,12 @@ func main() {
 		log.Fatal(err)
 	}
 	sc.Workers = *workers
-	runner := expt.NewRunner(sc)
+
+	// SIGINT/SIGTERM cancels the in-flight experiment campaign between
+	// simulations instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := expt.NewRunner(sc).WithContext(ctx)
 
 	ids := []string{*expID}
 	if *expID == "all" {
@@ -59,6 +69,9 @@ func main() {
 		start := time.Now()
 		tables, err := expt.RunExperiment(id, runner)
 		if err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				log.Fatalf("%s: interrupted; completed experiments were already printed", id)
+			}
 			log.Fatalf("%s: %v", id, err)
 		}
 		if err := report.RenderAll(os.Stdout, tables); err != nil {

@@ -1,19 +1,29 @@
 // Command pintesim runs a single simulation and prints its metrics.
 //
+// SIGINT/SIGTERM cancels the run; -timeout bounds its wall-clock time.
+// With -resume, the run is checkpointed to (and, when already present,
+// recalled from) a JSONL journal shared with pintesweep.
+//
 // Usage:
 //
 //	pintesim -workload 450.soplex
 //	pintesim -workload 450.soplex -mode pinte -pinduce 0.3
 //	pintesim -workload 450.soplex -mode 2nd-trace -adversary 470.lbm
+//	pintesim -workload 450.soplex -timeout 2m -resume runs.journal
 //	pintesim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -37,6 +47,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		list      = flag.Bool("list", false, "list benchmark presets and exit")
 		samples   = flag.Bool("samples", false, "print per-interval samples")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+		retries   = flag.Int("retries", 0, "retries if the run panics or times out (seed is perturbed)")
+		resume    = flag.String("resume", "", "JSONL journal path: recall the run if journaled, checkpoint it otherwise")
 	)
 	flag.Parse()
 
@@ -83,9 +96,33 @@ func main() {
 	cfg.Hier.Inclusion = incl
 	cfg.Hier.Prefetch = *prefetchC
 
-	res, err := sim.Run(cfg)
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	orc := runner.New(runner.Options{
+		Workers: 1,
+		Timeout: *timeout,
+		Retries: *retries,
+		Journal: *resume,
+		Logf:    log.Printf,
+	})
+	out, err := orc.RunAll(ctx, []sim.Config{cfg})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(out.Failures) > 0 {
+		f := out.Failures[0]
+		if f.Stack != "" {
+			log.Printf("run panicked; recovered stack:\n%s", f.Stack)
+		}
+		log.Fatal(f)
+	}
+	res := out.Results[0]
+	if out.FromJournal > 0 {
+		fmt.Printf("(recalled from journal %s; wall time below is the original run's)\n", *resume)
 	}
 
 	fmt.Printf("workload        %s (%s)\n", *workload, *mode)

@@ -2,22 +2,35 @@
 // a CSV of contention rate, weighted IPC, miss rate and AMAT per point —
 // the raw material of a contention-sensitivity study.
 //
+// The sweep is fault tolerant: a run that fails (bad config, panic,
+// per-run timeout) costs only its own row — every completed point is
+// still emitted and the failures are reported on stderr with a non-zero
+// exit. SIGINT/SIGTERM cancels the campaign cleanly. With -resume, each
+// completed run is checkpointed to a JSONL journal and an interrupted
+// sweep picks up where it left off, re-running only the missing configs.
+//
 // Usage:
 //
 //	pintesweep -workloads 450.soplex,433.milc
 //	pintesweep -workloads all -points 0.01,0.1,0.5 > sweep.csv
+//	pintesweep -workloads all -resume sweep.journal -timeout 5m > sweep.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	pinte "repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -33,6 +46,9 @@ func main() {
 		roi       = flag.Uint64("roi", 1_000_000, "region-of-interest instructions")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited)")
+		retries   = flag.Int("retries", 0, "retries for runs that panic or time out (seed is perturbed)")
+		resume    = flag.String("resume", "", "JSONL journal path: checkpoint completed runs and skip them on restart")
 	)
 	flag.Parse()
 
@@ -72,28 +88,47 @@ func main() {
 			})
 		}
 	}
-	results, err := sim.RunMany(cfgs, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	orc := runner.New(runner.Options{
+		Workers: *workers,
+		Timeout: *timeout,
+		Retries: *retries,
+		Journal: *resume,
+		Logf:    log.Printf,
+	})
+	start := time.Now()
+	out, err := orc.RunAll(ctx, cfgs)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // campaign-level fault (unusable journal)
 	}
+	results := out.Results
+
 	isoIPC := make(map[string]float64, len(names))
 	for i, w := range names {
-		isoIPC[w] = results[i].IPC
+		if results[i] != nil {
+			isoIPC[w] = results[i].IPC
+		}
 	}
 
 	cw := csv.NewWriter(os.Stdout)
-	defer cw.Flush()
 	if err := cw.Write([]string{
 		"workload", "p_induce", "contention_rate", "ipc", "weighted_ipc",
 		"llc_miss_rate", "amat", "occupancy_frac",
 	}); err != nil {
 		log.Fatal(err)
 	}
+	emitted := 0
 	i := len(names)
 	for _, w := range names {
 		for _, p := range sweep {
 			r := results[i]
 			i++
+			if r == nil {
+				continue // failed run: reported below, row withheld
+			}
 			wipc := 0.0
 			if isoIPC[w] > 0 {
 				wipc = r.IPC / isoIPC[w]
@@ -111,6 +146,24 @@ func main() {
 			if err := cw.Write(rec); err != nil {
 				log.Fatal(err)
 			}
+			emitted++
 		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		log.Fatal(err)
+	}
+
+	if len(out.Failures) > 0 {
+		log.Printf("%d of %d runs failed (%d rows emitted, %d resumed from journal, wall %s):",
+			len(out.Failures), len(cfgs), emitted, out.FromJournal,
+			time.Since(start).Round(time.Millisecond))
+		for _, f := range out.Failures {
+			log.Printf("  %v", f)
+		}
+		if *resume != "" {
+			log.Printf("completed runs are journaled; rerun with -resume %s to finish the sweep", *resume)
+		}
+		os.Exit(1)
 	}
 }

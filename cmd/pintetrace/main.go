@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/trace"
 )
@@ -23,16 +26,39 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// SIGINT/SIGTERM stops a long generation or conversion at the next
+	// record boundary, leaving a truncated-but-valid output file.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	switch os.Args[1] {
 	case "gen":
-		cmdGen(os.Args[2:])
+		cmdGen(ctx, os.Args[2:])
 	case "info":
-		cmdInfo(os.Args[2:])
+		cmdInfo(ctx, os.Args[2:])
 	case "convert":
-		cmdConvert(os.Args[2:])
+		cmdConvert(ctx, os.Args[2:])
 	default:
 		usage()
 	}
+}
+
+// ctxReader threads cancellation into record pumps: Next fails with the
+// context's cause once ctx is done, checked every few thousand records.
+type ctxReader struct {
+	ctx context.Context
+	r   trace.Reader
+	n   uint64
+}
+
+func (c *ctxReader) Next(rec *trace.Record) error {
+	if c.n++; c.n&0xFFF == 0 {
+		select {
+		case <-c.ctx.Done():
+			return fmt.Errorf("interrupted after %d records: %w", c.n-1, c.ctx.Err())
+		default:
+		}
+	}
+	return c.r.Next(rec)
 }
 
 func usage() {
@@ -44,7 +70,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func cmdGen(args []string) {
+func cmdGen(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	workload := fs.String("workload", "", "benchmark preset")
 	n := fs.Uint64("n", 1_000_000, "instructions to generate")
@@ -62,22 +88,23 @@ func cmdGen(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wrote, err := trace.WriteAll(*out, trace.Limit(gen, *n))
+	wrote, err := trace.WriteAll(*out, &ctxReader{ctx: ctx, r: trace.Limit(gen, *n)})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d records to %s\n", wrote, *out)
 }
 
-func cmdInfo(args []string) {
+func cmdInfo(ctx context.Context, args []string) {
 	if len(args) != 1 {
 		usage()
 	}
-	r, err := trace.OpenFile(args[0])
+	f, err := trace.OpenFile(args[0])
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer r.Close()
+	defer f.Close()
+	r := &ctxReader{ctx: ctx, r: f}
 
 	var (
 		rec      trace.Record
@@ -149,7 +176,7 @@ func pct(num, den uint64) float64 {
 	return 100 * float64(num) / float64(den)
 }
 
-func cmdConvert(args []string) {
+func cmdConvert(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	to := fs.String("to", "", "target format: champsim")
 	from := fs.String("from", "", "source format: champsim")
@@ -171,7 +198,7 @@ func cmdConvert(args []string) {
 			log.Fatal(err)
 		}
 		w := trace.NewChampSimWriter(f)
-		n, err := pump(src, w.Write)
+		n, err := pump(&ctxReader{ctx: ctx, r: src}, w.Write)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -188,7 +215,7 @@ func cmdConvert(args []string) {
 			log.Fatal(err)
 		}
 		defer src.Close()
-		n, err := trace.WriteAll(out, src)
+		n, err := trace.WriteAll(out, &ctxReader{ctx: ctx, r: src})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,26 +1,42 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
 // Runner executes simulations for the experiment generators, memoizing
 // results so experiments that share runs (the PInTE sweep feeds Table II,
-// Fig 6, Fig 7, Fig 8 and Fig 9) pay for them once. Safe for concurrent
-// use.
+// Fig 6, Fig 7, Fig 8 and Fig 9) pay for them once. Batches go through
+// the fault-tolerant orchestrator (internal/runner), so one crashing
+// simulation surfaces as a structured error instead of killing the
+// process, and cancelling the runner's context (SIGINT in pintereport)
+// stops a campaign between runs. Safe for concurrent use.
 type Runner struct {
 	Scale Scale
 
+	ctx  context.Context
 	mu   sync.Mutex
 	memo map[string]*sim.Result
 }
 
 // NewRunner builds a runner for scale.
 func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, memo: make(map[string]*sim.Result)}
+	return &Runner{Scale: s, ctx: context.Background(), memo: make(map[string]*sim.Result)}
+}
+
+// WithContext returns the runner bound to ctx: cancellation aborts any
+// in-flight batch with sim.ErrCanceled. The memo is shared with the
+// receiver.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ctx = ctx
+	return r
 }
 
 // key serialises the configuration fields the experiments vary. Ad-hoc
@@ -112,15 +128,26 @@ func (r *Runner) GetAll(cfgs []sim.Config) ([]*sim.Result, error) {
 	r.mu.Unlock()
 
 	if len(missing) > 0 {
-		results, err := sim.RunMany(missing, r.Scale.Workers)
+		r.mu.Lock()
+		ctx := r.ctx
+		r.mu.Unlock()
+		orc := runner.New(runner.Options{Workers: r.Scale.Workers})
+		out, err := orc.RunAll(ctx, missing)
 		if err != nil {
 			return nil, err
 		}
+		// Memoize the successes even when some runs failed, so a
+		// retried experiment only pays for the missing work.
 		r.mu.Lock()
-		for j, res := range results {
-			r.memo[keys[missingIdx[j]]] = res
+		for j, res := range out.Results {
+			if res != nil {
+				r.memo[keys[missingIdx[j]]] = res
+			}
 		}
 		r.mu.Unlock()
+		if err := out.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	out := make([]*sim.Result, len(cfgs))

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// ConfigKey returns the deterministic resume key for cfg: the SHA-256
+// of the canonical JSON of the normalized config (every default
+// resolved). Two configs that would produce identical results hash
+// identically, so a resumed campaign recognises its completed runs even
+// across processes and flag re-orderings.
+func ConfigKey(cfg sim.Config) (string, error) {
+	b, err := json.Marshal(cfg.Normalized())
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// journalEntry is one JSONL line: the config key plus the completed
+// result (which embeds its config, keeping the file self-describing).
+type journalEntry struct {
+	Key    string      `json:"key"`
+	Result *sim.Result `json:"result"`
+}
+
+// Journal is an append-only JSONL checkpoint of completed results. Each
+// Append writes one line and flushes it to the OS, so a killed process
+// loses at most the result it was formatting; LoadJournal tolerates a
+// truncated final line for exactly that case. Safe for concurrent
+// Appends.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// maxEntryBytes bounds one journal line (a Result with samples and
+// histograms is tens of KB; 64MB leaves three orders of magnitude).
+const maxEntryBytes = 64 << 20
+
+// LoadJournal reads a journal into a key → result map. A missing file
+// yields an empty map. Corrupt or truncated lines (a crash mid-append)
+// end the scan at the last intact entry rather than failing the resume.
+func LoadJournal(path string) (map[string]*sim.Result, error) {
+	done := make(map[string]*sim.Result)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxEntryBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break
+		}
+		if e.Key != "" && e.Result != nil {
+			done[e.Key] = e.Result
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return done, nil
+}
+
+// OpenJournal loads path's existing entries and opens it for appending,
+// creating it if absent.
+func OpenJournal(path string) (*Journal, map[string]*sim.Result, error) {
+	done, err := LoadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{f: f, w: bufio.NewWriterSize(f, 256<<10)}, done, nil
+}
+
+// Append records one completed result and flushes the line.
+func (j *Journal) Append(key string, res *sim.Result) error {
+	b, err := json.Marshal(journalEntry{Key: key, Result: res})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	// Push the line to stable storage so a power loss, not just a
+	// process crash, preserves completed work.
+	return j.f.Sync()
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

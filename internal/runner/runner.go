@@ -1,0 +1,314 @@
+// Package runner is the fault-tolerant campaign orchestrator for large
+// simulation batches (the paper's 49 workloads × 12 P_Induce points plus
+// baselines). It layers four guarantees over internal/sim:
+//
+//   - cancellation: one context covers the whole campaign; SIGINT or an
+//     explicit cancel stops scheduling, interrupts in-flight runs, and
+//     surfaces every unfinished config as an ErrCanceled failure.
+//   - isolation: a run that panics or fails is captured as a typed
+//     *RunError (config, cause, stack, wall time, attempt count) and the
+//     rest of the campaign keeps going.
+//   - retry: runs that die for seed-dependent reasons (panic, timeout)
+//     are retried up to Options.Retries times with a deterministically
+//     perturbed seed.
+//   - resume: each completed result is appended to a JSONL journal keyed
+//     by a deterministic config hash; rerunning the same campaign with
+//     the same journal skips everything already completed, so a crashed
+//     or interrupted sweep loses no finished work.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Options tunes an Orchestrator. The zero value runs with GOMAXPROCS
+// workers, no per-run deadline, no retries and no journal — equivalent
+// to sim.RunManyContext plus structured failures.
+type Options struct {
+	// Workers caps concurrent simulations; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds each run's wall-clock time; 0 disables it. A run
+	// over budget fails with ErrTimeout (and may be retried).
+	Timeout time.Duration
+	// Retries is how many additional attempts a retryable failure
+	// (panic, timeout) gets. Each retry perturbs the config seed with
+	// PerturbSeed so a deterministically crashing run can escape.
+	Retries int
+	// Journal, when non-empty, is the path of the JSONL checkpoint
+	// file. Existing entries are loaded first and their configs are
+	// skipped; every newly completed result is appended and flushed.
+	Journal string
+	// Logf receives progress and failure lines (log.Printf-shaped);
+	// nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// RunError describes one failed run of a campaign.
+type RunError struct {
+	// Index is the config's position in the RunAll input.
+	Index int
+	// Config is the original (unperturbed) configuration.
+	Config sim.Config
+	// Key is the config's journal hash.
+	Key string
+	// Err is the final attempt's failure, wrapping one of the sim
+	// taxonomy sentinels (ErrBadConfig, ErrTimeout, ErrPanic,
+	// ErrCanceled).
+	Err error
+	// Stack is the recovered goroutine stack when Err wraps ErrPanic.
+	Stack string
+	// WallTime spans all attempts; Attempts counts them.
+	WallTime time.Duration
+	Attempts int
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %d (%s %s p=%g seed=%d): %v [attempts=%d wall=%s]",
+		e.Index, e.Config.Mode, e.Config.Workload, e.Config.PInduce,
+		e.Config.Seed, e.Err, e.Attempts, e.WallTime.Round(time.Millisecond))
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Outcome is what a campaign produced: successes in input order (nil
+// where a run failed), plus the structured failure list.
+type Outcome struct {
+	// Results is parallel to the RunAll input; failed or canceled
+	// configs leave a nil slot.
+	Results []*sim.Result
+	// Failures holds one RunError per failed config, ordered by Index.
+	Failures []*RunError
+	// FromJournal counts configs satisfied from the resume journal
+	// without running; Ran counts configs actually executed.
+	FromJournal int
+	Ran         int
+}
+
+// Err joins the failures into one error, or returns nil for a fully
+// successful campaign.
+func (o *Outcome) Err() error {
+	if len(o.Failures) == 0 {
+		return nil
+	}
+	errs := make([]error, len(o.Failures))
+	for i, f := range o.Failures {
+		errs[i] = f
+	}
+	return errors.Join(errs...)
+}
+
+// Orchestrator executes campaigns under one Options set. Safe for use
+// by a single campaign at a time.
+type Orchestrator struct {
+	opts Options
+	// run executes one attempt; tests substitute it to inject panics
+	// and hangs. nil means sim.RunContext. Panics are recovered by the
+	// orchestrator regardless of the function used.
+	run func(ctx context.Context, cfg sim.Config) (*sim.Result, error)
+}
+
+// New builds an orchestrator.
+func New(opts Options) *Orchestrator { return &Orchestrator{opts: opts} }
+
+func (o *Orchestrator) logf(format string, args ...any) {
+	if o.opts.Logf != nil {
+		o.opts.Logf(format, args...)
+	}
+}
+
+// PerturbSeed derives the seed for retry attempt n (n >= 1) of a run
+// whose original seed is seed. The perturbation is deterministic —
+// resuming a campaign retries a crashing config through the same seed
+// sequence — and attempt 0 always preserves the original seed, so
+// successful runs stay bit-identical to an unorchestrated sim.Run.
+func PerturbSeed(seed uint64, attempt int) uint64 {
+	if attempt == 0 {
+		return seed
+	}
+	// Golden-ratio odd multiplier: distinct, well-mixed seeds per
+	// attempt without colliding with neighbouring campaign seeds.
+	return seed ^ uint64(attempt)*0x9e3779b97f4a7c15
+}
+
+// RunAll executes cfgs under ctx and never aborts on a per-run failure:
+// it always returns an Outcome covering every config. The error return
+// is reserved for campaign-level faults (an unreadable or unwritable
+// journal); per-run failures — including cancellation — are reported in
+// Outcome.Failures so callers can emit completed rows and exit non-zero.
+func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome, error) {
+	out := &Outcome{Results: make([]*sim.Result, len(cfgs))}
+
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		k, err := ConfigKey(cfg)
+		if err != nil {
+			out.Failures = append(out.Failures, &RunError{
+				Index: i, Config: cfg, Attempts: 0,
+				Err: fmt.Errorf("%w: unhashable: %v", sim.ErrBadConfig, err),
+			})
+			continue
+		}
+		keys[i] = k
+	}
+
+	var journal *Journal
+	if o.opts.Journal != "" {
+		var done map[string]*sim.Result
+		var err error
+		journal, done, err = OpenJournal(o.opts.Journal)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+		for i := range cfgs {
+			if res, ok := done[keys[i]]; ok && keys[i] != "" {
+				out.Results[i] = res
+				out.FromJournal++
+			}
+		}
+		if out.FromJournal > 0 {
+			o.logf("resume: %d of %d runs already journaled in %s",
+				out.FromJournal, len(cfgs), o.opts.Journal)
+		}
+	}
+
+	var pending []int
+	for i := range cfgs {
+		if out.Results[i] == nil && keys[i] != "" {
+			pending = append(pending, i)
+		}
+	}
+
+	workers := o.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, rerr := o.runOne(ctx, i, cfgs[i], keys[i])
+				mu.Lock()
+				out.Ran++
+				if rerr != nil {
+					out.Failures = append(out.Failures, rerr)
+					mu.Unlock()
+					continue
+				}
+				out.Results[i] = res
+				mu.Unlock()
+				if journal != nil {
+					if err := journal.Append(keys[i], res); err != nil {
+						mu.Lock()
+						out.Failures = append(out.Failures, &RunError{
+							Index: i, Config: cfgs[i], Key: keys[i], Attempts: 1,
+							Err: fmt.Errorf("journaling result: %w", err),
+						})
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	scheduled := len(pending)
+	for n, i := range pending {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			scheduled = n
+		}
+		if scheduled != len(pending) {
+			break
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for _, i := range pending[scheduled:] {
+		out.Failures = append(out.Failures, &RunError{
+			Index: i, Config: cfgs[i], Key: keys[i], Err: sim.ErrCanceled,
+		})
+	}
+	sort.Slice(out.Failures, func(a, b int) bool {
+		return out.Failures[a].Index < out.Failures[b].Index
+	})
+	return out, nil
+}
+
+// runOne executes one config with the per-run deadline, panic capture
+// and bounded seed-perturbation retry policy applied.
+func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, key string) (*sim.Result, *RunError) {
+	runFn := o.run
+	if runFn == nil {
+		runFn = sim.RunContext
+	}
+	start := time.Now()
+	var err error
+	attempts := 0
+	for attempts <= o.opts.Retries {
+		c := cfg
+		c.Seed = PerturbSeed(cfg.Seed, attempts)
+		if attempts > 0 {
+			o.logf("retry %d/%d for run %d (%s %s): %v; perturbed seed %d",
+				attempts, o.opts.Retries, index, cfg.Mode, cfg.Workload, err, c.Seed)
+		}
+		attempts++
+
+		rctx := ctx
+		cancel := func() {}
+		if o.opts.Timeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, o.opts.Timeout)
+		}
+		var res *sim.Result
+		res, err = safeCall(runFn, rctx, c)
+		cancel()
+		if err == nil {
+			return res, nil
+		}
+		// Whole-campaign cancellation masquerades as a per-run error;
+		// never retry it, and report it under its own sentinel.
+		if ctx.Err() != nil {
+			err = sim.ErrCanceled
+			break
+		}
+		if !sim.Retryable(err) {
+			break
+		}
+	}
+	re := &RunError{
+		Index: index, Config: cfg, Key: key, Err: err,
+		WallTime: time.Since(start), Attempts: attempts,
+	}
+	var pe *sim.PanicError
+	if errors.As(err, &pe) {
+		re.Stack = string(pe.Stack)
+	}
+	return nil, re
+}
+
+// safeCall runs one attempt with panic isolation: a crash inside the
+// simulator becomes a *sim.PanicError carrying the goroutine stack.
+func safeCall(runFn func(context.Context, sim.Config) (*sim.Result, error),
+	ctx context.Context, cfg sim.Config) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &sim.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return runFn(ctx, cfg)
+}

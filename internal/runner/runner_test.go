@@ -1,0 +1,344 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// tinyCfg returns a fast PInTE config for integration tests.
+func tinyCfg(workload string, p float64) sim.Config {
+	return sim.Config{
+		Mode: sim.PInTE, Workload: workload, PInduce: p,
+		WarmupInstrs: 20_000, ROIInstrs: 50_000, SampleEvery: 10_000, Seed: 1,
+	}
+}
+
+// fingerprint reduces a result to its deterministic observable fields —
+// exactly what the CSV emitters format — so equal fingerprints imply
+// byte-identical CSV output.
+func fingerprint(r *sim.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|%v|%v|%v|%v|%d",
+		r.IPC, r.MissRate, r.AMAT, r.ContentionRate, r.OccupancyFrac,
+		r.LLCMPKI, r.Instrs)
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, ";%v,%v,%v", s.IPC, s.MissRate, s.OccupancyFrac)
+	}
+	return b.String()
+}
+
+func TestPanicBecomesRunError(t *testing.T) {
+	o := New(Options{Workers: 2})
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if cfg.Workload == "boom" {
+			panic("simulated crash")
+		}
+		return &sim.Result{Config: cfg, IPC: 1}, nil
+	}
+	cfgs := []sim.Config{
+		tinyCfg("fine-a", 0.1),
+		{Mode: sim.PInTE, Workload: "boom", PInduce: 0.5, Seed: 9},
+		tinyCfg("fine-b", 0.2),
+	}
+	out, err := o.RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0] == nil || out.Results[2] == nil {
+		t.Fatal("healthy runs lost alongside the crashing one")
+	}
+	if out.Results[1] != nil {
+		t.Fatal("crashed run produced a result")
+	}
+	if len(out.Failures) != 1 {
+		t.Fatalf("got %d failures, want 1: %v", len(out.Failures), out.Failures)
+	}
+	f := out.Failures[0]
+	if f.Index != 1 || !errors.Is(f.Err, sim.ErrPanic) {
+		t.Fatalf("failure misclassified: %+v", f)
+	}
+	if !strings.Contains(f.Stack, "runner") || f.Stack == "" {
+		t.Fatalf("panic stack not captured: %q", f.Stack)
+	}
+	if f.Config.Seed != 9 {
+		t.Fatalf("failure reports perturbed config, want original: %+v", f.Config)
+	}
+	if out.Err() == nil || !errors.Is(out.Err(), sim.ErrPanic) {
+		t.Fatalf("Outcome.Err does not surface the panic: %v", out.Err())
+	}
+}
+
+func TestRetryPerturbsSeed(t *testing.T) {
+	var calls atomic.Int32
+	o := New(Options{Workers: 1, Retries: 2})
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		if cfg.Seed == 7 { // original seed deterministically crashes
+			panic("bad seed")
+		}
+		return &sim.Result{Config: cfg, IPC: 2}, nil
+	}
+	cfg := tinyCfg("w", 0.1)
+	cfg.Seed = 7
+	out, err := o.RunAll(context.Background(), []sim.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failures) != 0 {
+		t.Fatalf("retry did not rescue the run: %v", out.Failures)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("got %d attempts, want 2 (crash, then perturbed success)", calls.Load())
+	}
+	got := out.Results[0].Config.Seed
+	if got == 7 || got != PerturbSeed(7, 1) {
+		t.Fatalf("retry seed = %d, want PerturbSeed(7,1) = %d", got, PerturbSeed(7, 1))
+	}
+}
+
+func TestRetryBoundedAndNonRetryableSkipsRetry(t *testing.T) {
+	var calls atomic.Int32
+	o := New(Options{Workers: 1, Retries: 2})
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		panic("always crashes")
+	}
+	out, _ := o.RunAll(context.Background(), []sim.Config{tinyCfg("w", 0.1)})
+	if len(out.Failures) != 1 || out.Failures[0].Attempts != 3 {
+		t.Fatalf("want 3 bounded attempts, got %+v", out.Failures)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("run called %d times, want 3", calls.Load())
+	}
+
+	calls.Store(0)
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("%w: broken", sim.ErrBadConfig)
+	}
+	out, _ = o.RunAll(context.Background(), []sim.Config{tinyCfg("w", 0.1)})
+	if calls.Load() != 1 {
+		t.Fatalf("non-retryable error retried %d times", calls.Load())
+	}
+	if !errors.Is(out.Failures[0].Err, sim.ErrBadConfig) {
+		t.Fatalf("taxonomy lost: %v", out.Failures[0].Err)
+	}
+}
+
+func TestCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := New(Options{Workers: 2})
+	cfgs := []sim.Config{tinyCfg("433.milc", 0.1), tinyCfg("470.lbm", 0.2)}
+	out, err := o.RunAll(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ran != 0 {
+		t.Fatalf("canceled campaign still ran %d configs", out.Ran)
+	}
+	if len(out.Failures) != len(cfgs) {
+		t.Fatalf("got %d failures, want %d", len(out.Failures), len(cfgs))
+	}
+	for _, f := range out.Failures {
+		if !errors.Is(f.Err, sim.ErrCanceled) {
+			t.Fatalf("failure not classified as canceled: %v", f.Err)
+		}
+	}
+}
+
+func TestCancelMidCampaignStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	o := New(Options{Workers: 1})
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if started.Add(1) == 2 {
+			cancel() // campaign is killed while run 2 is in flight
+			<-ctx.Done()
+			return nil, sim.ErrCanceled
+		}
+		return &sim.Result{Config: cfg, IPC: 1}, nil
+	}
+	cfgs := make([]sim.Config, 6)
+	for i := range cfgs {
+		cfgs[i] = tinyCfg(fmt.Sprintf("w%d", i), 0.1)
+	}
+	out, err := o.RunAll(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started.Load() > 3 {
+		t.Fatalf("scheduling continued after cancel: %d runs started", started.Load())
+	}
+	if out.Results[0] == nil {
+		t.Fatal("completed result dropped on cancellation")
+	}
+	canceled := 0
+	for _, f := range out.Failures {
+		if errors.Is(f.Err, sim.ErrCanceled) {
+			canceled++
+		}
+	}
+	if canceled < 4 {
+		t.Fatalf("unstarted runs not reported as canceled: %v", out.Failures)
+	}
+}
+
+func TestRealRunTimeout(t *testing.T) {
+	cfg := tinyCfg("433.milc", 0.3)
+	cfg.ROIInstrs = 500_000_000 // far beyond the deadline
+	o := New(Options{Workers: 1, Timeout: 15 * time.Millisecond})
+	out, err := o.RunAll(context.Background(), []sim.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failures) != 1 || !errors.Is(out.Failures[0].Err, sim.ErrTimeout) {
+		t.Fatalf("deadline overrun not classified as timeout: %+v", out.Failures)
+	}
+}
+
+func TestConfigKeyNormalizationAndSensitivity(t *testing.T) {
+	implicit := sim.Config{Workload: "433.milc"}
+	explicit := sim.Config{
+		Workload: "433.milc", WarmupInstrs: 200_000, ROIInstrs: 1_000_000,
+		SampleEvery: 50_000, Branch: "hashed-perceptron",
+	}
+	a, err := ConfigKey(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConfigKey(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("defaulted and explicit configs hash differently")
+	}
+	changed := implicit
+	changed.PInduce = 0.25
+	changed.Mode = sim.PInTE
+	c, err := ConfigKey(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct configs collide")
+	}
+}
+
+func TestLoadJournalToleratesTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		cfg := tinyCfg(fmt.Sprintf("w%d", i), 0.1)
+		key, err := ConfigKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(key, &sim.Result{Config: cfg, IPC: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a half-written final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"abc","result":{"IPC":3.`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	done, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("got %d intact entries, want 2", len(done))
+	}
+}
+
+// TestResumeProducesIdenticalResults is the acceptance scenario: a
+// campaign that dies mid-flight (here: half the runs panic) is resumed
+// from its journal, re-runs only the missing configs, and the merged
+// results match an uninterrupted campaign exactly.
+func TestResumeProducesIdenticalResults(t *testing.T) {
+	cfgs := []sim.Config{
+		tinyCfg("433.milc", 0),
+		tinyCfg("433.milc", 0.2),
+		tinyCfg("470.lbm", 0.2),
+		tinyCfg("450.soplex", 0.4),
+	}
+
+	// Uninterrupted reference campaign.
+	ref, err := New(Options{Workers: 2}).RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Err() != nil {
+		t.Fatal(ref.Err())
+	}
+
+	// First attempt: runs 2 and 3 crash, 0 and 1 complete and journal.
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "campaign.journal")
+	crashy := New(Options{Workers: 1, Journal: journal})
+	crashy.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		if cfg.Workload != "433.milc" {
+			panic("mid-campaign failure")
+		}
+		return sim.RunContext(ctx, cfg)
+	}
+	first, err := crashy.RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Failures) != 2 || first.Ran != 4 {
+		t.Fatalf("injected failures misbehaved: ran=%d failures=%v", first.Ran, first.Failures)
+	}
+
+	// Resume: only the two missing configs run; the journaled pair is
+	// reused verbatim.
+	resumed, err := New(Options{Workers: 2, Journal: journal}).RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Err() != nil {
+		t.Fatal(resumed.Err())
+	}
+	if resumed.FromJournal != 2 || resumed.Ran != 2 {
+		t.Fatalf("resume re-ran journaled work: fromJournal=%d ran=%d",
+			resumed.FromJournal, resumed.Ran)
+	}
+	for i := range cfgs {
+		if fingerprint(resumed.Results[i]) != fingerprint(ref.Results[i]) {
+			t.Fatalf("config %d: resumed result diverges from uninterrupted run\nresumed: %s\nref:     %s",
+				i, fingerprint(resumed.Results[i]), fingerprint(ref.Results[i]))
+		}
+	}
+
+	// A second resume finds everything journaled and runs nothing.
+	third, err := New(Options{Workers: 2, Journal: journal}).RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Ran != 0 || third.FromJournal != 4 {
+		t.Fatalf("fully journaled campaign still ran %d configs", third.Ran)
+	}
+}

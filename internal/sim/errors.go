@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error taxonomy for the execution stack. Every failure surfaced by
+// Run/RunMany and the internal/runner orchestrator wraps one of these
+// sentinels, so callers can classify failures with errors.Is and decide
+// whether a retry can help (ErrPanic, ErrTimeout) or not (ErrBadConfig,
+// ErrCanceled).
+var (
+	// ErrBadConfig marks a configuration rejected by Validate before
+	// any simulation work started. Never retryable.
+	ErrBadConfig = errors.New("sim: invalid configuration")
+	// ErrTimeout marks a run that exceeded its per-run wall-clock
+	// deadline (context.DeadlineExceeded on the run's context).
+	ErrTimeout = errors.New("sim: run exceeded its deadline")
+	// ErrPanic marks a run whose simulation goroutine panicked; the
+	// panic was recovered so the rest of the campaign survives.
+	ErrPanic = errors.New("sim: run panicked")
+	// ErrCanceled marks a run stopped by whole-campaign cancellation
+	// (SIGINT/SIGTERM or an explicit context cancel).
+	ErrCanceled = errors.New("sim: run canceled")
+)
+
+// PanicError carries the recovered panic value and goroutine stack of a
+// crashed run. It wraps ErrPanic.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrPanic, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) true.
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// RunFailure identifies which configuration of a batch failed and why.
+// RunMany joins one RunFailure per failed config into its returned
+// error; extract them with errors.As or a type switch over
+// errors.Join's tree.
+type RunFailure struct {
+	Index  int
+	Config Config
+	Err    error
+}
+
+func (f *RunFailure) Error() string {
+	return fmt.Sprintf("config %d (%s %s): %v", f.Index, f.Config.Mode, f.Config.Workload, f.Err)
+}
+
+func (f *RunFailure) Unwrap() error { return f.Err }
+
+// Retryable reports whether a failed run might succeed on a retry with
+// a perturbed seed: panics and timeouts can be seed-dependent, while
+// bad configs and cancellations cannot.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrPanic) || errors.Is(err, ErrTimeout)
+}

@@ -7,8 +7,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -161,6 +165,52 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Normalized returns the configuration with every defaulted field
+// resolved. Two configs with equal Normalized values produce identical
+// results, so it is the canonical form for memo keys and journal
+// hashes.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+// Validate checks the configuration for contradictions the simulator
+// would otherwise hit mid-run (or silently mis-model). Defaults are
+// applied first, so a zero value passes. Every rejection wraps
+// ErrBadConfig.
+func (c Config) Validate() error {
+	return c.withDefaults().validateDefaulted()
+}
+
+// validateDefaulted assumes withDefaults has run.
+func (c Config) validateDefaulted() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadConfig, fmt.Sprintf(format, args...))
+	}
+	if c.Mode < Isolation || c.Mode > SecondTrace {
+		return bad("unknown mode %d", int(c.Mode))
+	}
+	if math.IsNaN(c.PInduce) || c.PInduce < 0 || c.PInduce > 1 {
+		return bad("PInduce %v outside [0,1]", c.PInduce)
+	}
+	if math.IsNaN(c.DRAMContentionProb) || c.DRAMContentionProb < 0 || c.DRAMContentionProb > 1 {
+		return bad("DRAMContentionProb %v outside [0,1]", c.DRAMContentionProb)
+	}
+	if c.LLCWayAllocation < 0 {
+		return bad("negative LLCWayAllocation %d", c.LLCWayAllocation)
+	}
+	if ways := c.Hier.LLC.Ways; ways > 0 && c.LLCWayAllocation > ways {
+		return bad("LLC way allocation %d exceeds %d ways", c.LLCWayAllocation, ways)
+	}
+	if c.Partitioning != "" && c.LLCWayAllocation > 0 {
+		return bad("Partitioning and LLCWayAllocation are mutually exclusive")
+	}
+	if c.Mode == SecondTrace && c.Adversary == "" && c.AdversarySpec == nil {
+		return bad("SecondTrace mode requires an adversary")
+	}
+	if c.Mode != SecondTrace && (c.Adversary != "" || len(c.Adversaries) > 0) {
+		return bad("adversaries set outside SecondTrace mode")
+	}
+	return nil
+}
+
 // Sample is one run-time measurement interval for the primary core (the
 // paper samples every 10M instructions).
 type Sample struct {
@@ -250,9 +300,46 @@ func specFor(name string, override *trace.Spec) (trace.Spec, error) {
 // never share data blocks (distinct physical footprints).
 const adversaryBase = 1 << 42
 
-// Run executes one simulation.
+// Run executes one simulation to completion.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxError maps a done context onto the error taxonomy: a per-run
+// deadline becomes ErrTimeout, everything else ErrCanceled.
+func ctxError(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return ErrCanceled
+}
+
+// RunSafe is RunContext with panic isolation: a panicking simulation is
+// recovered into a *PanicError (wrapping ErrPanic) with the goroutine
+// stack attached, instead of crashing the process. Batch drivers use it
+// so one broken run cannot kill a campaign.
+func RunSafe(ctx context.Context, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return RunContext(ctx, cfg)
+}
+
+// RunContext executes one simulation under ctx: a context deadline
+// bounds the run's wall-clock time (ErrTimeout) and cancellation stops
+// it between scheduling quanta (ErrCanceled). The configuration is
+// validated up front (ErrBadConfig).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateDefaulted(); err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, ctxError(ctx)
+	}
 	start := time.Now()
 
 	spec, err := specFor(cfg.Workload, cfg.WorkloadSpec)
@@ -295,9 +382,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var ctrl partition.Controller
 	if cfg.Partitioning != "" {
-		if cfg.LLCWayAllocation > 0 {
-			return nil, fmt.Errorf("sim: Partitioning and LLCWayAllocation are mutually exclusive")
-		}
 		ctrl, err = partition.New(cfg.Partitioning, cores)
 		if err != nil {
 			return nil, err
@@ -306,7 +390,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if n := cfg.LLCWayAllocation; n > 0 {
 		if n > hier.LLC().Ways() {
-			return nil, fmt.Errorf("sim: LLC way allocation %d exceeds %d ways", n, hier.LLC().Ways())
+			return nil, fmt.Errorf("%w: LLC way allocation %d exceeds %d ways",
+				ErrBadConfig, n, hier.LLC().Ways())
 		}
 		mask := uint64(1)<<uint(n) - 1
 		for core := 0; core < cores; core++ {
@@ -411,15 +496,32 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// interrupted is polled between scheduling quanta; it records the
+	// taxonomy error for a done context so the stop callback can halt
+	// the system loop.
+	var stopErr error
+	interrupted := func() bool {
+		select {
+		case <-ctx.Done():
+			stopErr = ctxError(ctx)
+			return true
+		default:
+			return false
+		}
+	}
+
 	// Warm-up: event counters reset; clocks keep running (they are
 	// physical time shared with the DRAM bank timestamps).
 	if cfg.WarmupInstrs > 0 {
 		err = sys.Run(func(*cpu.Core) bool {
 			tick()
-			return core0.Instrs >= cfg.WarmupInstrs
+			return interrupted() || core0.Instrs >= cfg.WarmupInstrs
 		})
 		if err != nil {
 			return nil, err
+		}
+		if stopErr != nil {
+			return nil, stopErr
 		}
 		hier.ResetStats()
 		for _, c := range sys.Cores {
@@ -442,10 +544,13 @@ func Run(cfg Config) (*Result, error) {
 	err = sys.Run(func(*cpu.Core) bool {
 		tick()
 		sampler.maybeSample(&res.Samples)
-		return core0.Instrs >= roiEnd
+		return interrupted() || core0.Instrs >= roiEnd
 	})
 	if err != nil {
 		return nil, err
+	}
+	if stopErr != nil {
+		return nil, stopErr
 	}
 	sampler.maybeSample(&res.Samples)
 
@@ -574,17 +679,26 @@ func (s *sampler) maybeSample(out *[]Sample) {
 }
 
 // RunMany executes configs in parallel across workers goroutines
-// (GOMAXPROCS when workers <= 0) and returns results in input order. The
-// first error aborts scheduling of new work and is returned.
+// (GOMAXPROCS when workers <= 0) and returns results in input order.
+// Failures are isolated per run: every config executes (a panicking run
+// is recovered into a *PanicError rather than crashing the process),
+// results holds the successes (nil at failed indexes), and the returned
+// error joins one *RunFailure per failed config — callers emit what
+// completed and report the rest. For per-run deadlines, retries and
+// crash-safe journaling use internal/runner.
 func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	return RunManyContext(context.Background(), cfgs, workers)
+}
+
+// RunManyContext is RunMany under a context: cancellation stops
+// scheduling new work, interrupts in-flight runs, and marks every
+// not-yet-finished config with ErrCanceled.
+func RunManyContext(ctx context.Context, cfgs []Config, workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	results := make([]*Result, len(cfgs))
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
+	failures := make([]error, len(cfgs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -592,26 +706,30 @@ func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				r, err := Run(cfgs[i])
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+				r, err := RunSafe(ctx, cfgs[i])
+				if err != nil {
+					failures[i] = &RunFailure{Index: i, Config: cfgs[i], Err: err}
+					continue
 				}
 				results[i] = r
-				mu.Unlock()
 			}
 		}()
 	}
+	sent := len(cfgs)
 	for i := range cfgs {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			sent = i
+		}
+		if sent != len(cfgs) {
 			break
 		}
-		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	return results, firstErr
+	for i := sent; i < len(cfgs); i++ {
+		failures[i] = &RunFailure{Index: i, Config: cfgs[i], Err: ErrCanceled}
+	}
+	return results, errors.Join(failures...)
 }

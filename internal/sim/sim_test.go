@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/trace"
@@ -198,6 +201,133 @@ func TestRunManyPropagatesError(t *testing.T) {
 	}
 	if _, err := RunMany(cfgs, 2); err == nil {
 		t.Fatal("error not propagated from batch")
+	}
+}
+
+func TestValidateRejectsContradictions(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"pinduce above 1", func(c *Config) { c.Mode = PInTE; c.PInduce = 1.5 }},
+		{"pinduce negative", func(c *Config) { c.Mode = PInTE; c.PInduce = -0.1 }},
+		{"pinduce NaN", func(c *Config) { c.Mode = PInTE; c.PInduce = math.NaN() }},
+		{"negative way allocation", func(c *Config) { c.LLCWayAllocation = -3 }},
+		{"allocation beyond ways", func(c *Config) { c.LLCWayAllocation = 17 }},
+		{"partitioning with allocation", func(c *Config) {
+			c.Mode = SecondTrace
+			c.Adversary = "470.lbm"
+			c.Partitioning = "ucp"
+			c.LLCWayAllocation = 4
+		}},
+		{"second-trace without adversary", func(c *Config) { c.Mode = SecondTrace }},
+		{"adversary outside second-trace", func(c *Config) { c.Adversary = "470.lbm" }},
+		{"dram contention prob above 1", func(c *Config) { c.DRAMContentionProb = 1.2 }},
+		{"unknown mode", func(c *Config) { c.Mode = Mode(42) }},
+	}
+	for _, tc := range cases {
+		cfg := Config{Workload: "433.milc"}
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: Validate = %v, want ErrBadConfig", tc.name, err)
+		}
+		if _, err := Run(tiny(cfg)); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: Run = %v, want ErrBadConfig", tc.name, err)
+		}
+	}
+	if err := (Config{Workload: "433.milc"}).Validate(); err != nil {
+		t.Errorf("zero-value config rejected: %v", err)
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, tiny(Config{Workload: "433.milc"}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled context: err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	cfg := tiny(Config{Workload: "433.milc"})
+	cfg.ROIInstrs = 500_000_000
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("deadline overrun: err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation not prompt: run stopped after %s", elapsed)
+	}
+}
+
+func TestRunSafeRecoversPanic(t *testing.T) {
+	// A handcrafted nil-spec panic path cannot be reached through the
+	// validated API, so drive RunSafe's recovery directly.
+	res, err := func() (*Result, error) {
+		return RunSafe(context.Background(), Config{
+			Workload:     "adhoc",
+			WorkloadSpec: &trace.Spec{Name: "empty"}, // no regions: generator refuses
+		})
+	}()
+	if err == nil && res == nil {
+		t.Fatal("no result and no error")
+	}
+	// Whether this spec errors or panics, the process must survive and
+	// any panic must carry the taxonomy sentinel.
+	if err != nil && errors.Is(err, ErrPanic) {
+		var pe *PanicError
+		if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+			t.Fatalf("panic recovered without stack: %v", err)
+		}
+	}
+}
+
+func TestRunManyIsolatesFailures(t *testing.T) {
+	cfgs := []Config{
+		tiny(Config{Workload: "453.povray"}),
+		tiny(Config{Workload: "999.bogus"}),
+		tiny(Config{Workload: "433.milc", Mode: PInTE, PInduce: 1.7}), // invalid
+		tiny(Config{Workload: "470.lbm"}),
+	}
+	results, err := RunMany(cfgs, 2)
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	if results[0] == nil || results[3] == nil {
+		t.Fatal("healthy configs lost alongside failing ones")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Fatal("failing configs produced results")
+	}
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("taxonomy lost in joined error: %v", err)
+	}
+	var rf *RunFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("no structured RunFailure in %v", err)
+	}
+}
+
+func TestRunManyContextCanceledMarksRemainder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{
+		tiny(Config{Workload: "453.povray"}),
+		tiny(Config{Workload: "433.milc"}),
+	}
+	results, err := RunManyContext(ctx, cfgs, 1)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("canceled campaign produced result %d", i)
+		}
 	}
 }
 

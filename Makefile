@@ -4,9 +4,15 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+# `make bench` knobs: raise BENCHTIME/BENCHCOUNT for stable numbers
+# (e.g. BENCHTIME=2s BENCHCOUNT=6 for a benchstat-worthy sample).
+BENCHTIME ?= 1x
+BENCHCOUNT ?= 1
+BENCHOUT ?= BENCH_$(shell date +%F).json
 
-ci: fmt vet build test race
+.PHONY: ci fmt vet build test race bench bench-smoke
+
+ci: fmt vet build test race bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -26,5 +32,16 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/runner/...
 
+# One pass over every benchmark as a compile-and-run smoke; keeps the
+# hot-path benchmarks building and non-panicking without the cost of a
+# full measurement.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/cache ./internal/trace ./internal/rng
+
+# Full benchmark run, archived as a perf-trajectory entry. Raw output
+# streams to the terminal; the parsed results land in $(BENCHOUT).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
+		-run '^$$' . ./internal/cache ./internal/trace ./internal/rng | \
+		$(GO) run ./cmd/benchjson -out $(BENCHOUT) \
+		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown)

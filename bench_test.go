@@ -79,6 +79,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(roi), "instrs/op")
 }
 
+// BenchmarkIsolationRun measures the end-to-end cost of the baseline
+// isolation runs (Table I's "isolation" row) across the bench workload
+// set — the single-core hot path (trace generation, core model, full
+// hierarchy walk) with no engine or co-runner attached.
+func BenchmarkIsolationRun(b *testing.B) {
+	workloads := benchScale().Workloads
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, wl := range workloads {
+			_, err := sim.Run(sim.Config{
+				Workload:     wl,
+				WarmupInstrs: 20_000,
+				ROIInstrs:    100_000,
+				SampleEvery:  100_000,
+				Seed:         1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkModeCosts compares per-mode simulation cost: the 2nd-Trace
 // row of Table I is expected to run ≈2× the isolation row, PInTE ≈1×.
 func BenchmarkModeCosts(b *testing.B) {

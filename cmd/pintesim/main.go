@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -51,6 +52,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "retries if the run panics or times out (seed is perturbed)")
 		resume    = flag.String("resume", "", "JSONL journal path: recall the run if journaled, checkpoint it otherwise")
 	)
+	profOpts := prof.Flags(nil)
 	flag.Parse()
 
 	if *list {
@@ -102,6 +104,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	stopProf, err := profOpts.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 	orc := runner.New(runner.Options{
 		Workers: 1,
 		Timeout: *timeout,
@@ -110,6 +116,9 @@ func main() {
 		Logf:    log.Printf,
 	})
 	out, err := orc.RunAll(ctx, []sim.Config{cfg})
+	if perr := stopProf(); perr != nil {
+		log.Print(perr) // profile flush failure shouldn't mask the run's outcome
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	pinte "repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -50,6 +51,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "retries for runs that panic or time out (seed is perturbed)")
 		resume    = flag.String("resume", "", "JSONL journal path: checkpoint completed runs and skip them on restart")
 	)
+	profOpts := prof.Flags(nil)
 	flag.Parse()
 
 	if *workloads == "" {
@@ -99,8 +101,15 @@ func main() {
 		Journal: *resume,
 		Logf:    log.Printf,
 	})
+	stopProf, err := profOpts.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	out, err := orc.RunAll(ctx, cfgs)
+	if perr := stopProf(); perr != nil {
+		log.Print(perr) // profile flush failure shouldn't mask the sweep's outcome
+	}
 	if err != nil {
 		log.Fatal(err) // campaign-level fault (unusable journal)
 	}

@@ -212,28 +212,29 @@ func satW(w int16, delta int32) int16 {
 // with geometric history lengths — the organisation used by production
 // predictors and by ChampSim's "hashed perceptron" baseline.
 type HashedPerceptron struct {
-	tables   [][]int16 // one per history length
+	// tables holds the per-history-length weight tables flattened into
+	// one slice (table t occupies tables[t<<indexBits:(t+1)<<indexBits]):
+	// the predict/update loops then walk a single backing array instead
+	// of chasing one slice header per table.
+	tables   []int16
 	lens     []int
 	history  uint64 // packed global history, newest bit 0
 	mask     uint64
 	theta    int32
 	lastSum  int32
 	lastPred bool
-	lastIdx  []uint64
+	lastIdx  []uint64 // flat indices into tables
 }
+
+const hpIndexBits = 12
 
 // NewHashedPerceptron builds the default 8-table configuration with
 // history lengths 0..64.
 func NewHashedPerceptron() *HashedPerceptron {
 	lens := []int{0, 2, 4, 8, 16, 24, 32, 64}
-	const indexBits = 12
-	n := 1 << indexBits
-	tabs := make([][]int16, len(lens))
-	for i := range tabs {
-		tabs[i] = make([]int16, n)
-	}
+	n := 1 << hpIndexBits
 	return &HashedPerceptron{
-		tables:  tabs,
+		tables:  make([]int16, len(lens)*n),
 		lens:    lens,
 		mask:    uint64(n - 1),
 		theta:   int32(1.93*float64(len(lens)) + 14),
@@ -260,10 +261,10 @@ func (h *HashedPerceptron) indexFor(pc uint64, t int) uint64 {
 // Predict implements Predictor.
 func (h *HashedPerceptron) Predict(pc uint64) bool {
 	sum := int32(0)
-	for t := range h.tables {
-		idx := h.indexFor(pc, t)
+	for t := range h.lens {
+		idx := uint64(t)<<hpIndexBits | h.indexFor(pc, t)
 		h.lastIdx[t] = idx
-		sum += int32(h.tables[t][idx])
+		sum += int32(h.tables[idx])
 	}
 	h.lastSum = sum
 	h.lastPred = sum >= 0
@@ -277,8 +278,8 @@ func (h *HashedPerceptron) Update(pc uint64, taken bool) {
 		if taken {
 			delta = 1
 		}
-		for t := range h.tables {
-			w := &h.tables[t][h.lastIdx[t]]
+		for _, idx := range h.lastIdx {
+			w := &h.tables[idx]
 			*w = satW(*w, delta)
 		}
 	}

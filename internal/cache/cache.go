@@ -15,9 +15,10 @@ import (
 // BlockBytes is the cache block (line) size used throughout the model.
 const BlockBytes = 64
 
-// Block is one cache line's metadata.
+// Block is one cache line's metadata. The block's tag lives in the
+// cache's parallel tags array (the way-scan path), not here, keeping the
+// per-line metadata to a handful of bytes.
 type Block struct {
-	Tag   uint64
 	Valid bool
 	Dirty bool
 	// Prefetched is set on prefetch fills and cleared on the first
@@ -87,12 +88,16 @@ type Stats struct {
 }
 
 func newStats(cores, ways int) Stats {
-	mk := func() []uint64 { return make([]uint64, cores) }
-	hc := make([][]uint64, cores)
-	for i := range hc {
-		hc[i] = make([]uint64, ways)
+	// All counters share one backing array: the hot-path increments
+	// (access, hit, reuse position) then touch a handful of adjacent
+	// cache lines instead of ten scattered allocations.
+	backing := make([]uint64, 8*cores+ways+cores*ways)
+	mk := func() []uint64 {
+		s := backing[:cores:cores]
+		backing = backing[cores:]
+		return s
 	}
-	return Stats{
+	s := Stats{
 		Accesses:          mk(),
 		Hits:              mk(),
 		Misses:            mk(),
@@ -100,10 +105,16 @@ func newStats(cores, ways int) Stats {
 		TheftsExperienced: mk(),
 		InducedThefts:     mk(),
 		MockThefts:        mk(),
-		ReuseHist:         make([]uint64, ways),
-		ReuseHistCore:     hc,
 		Occupancy:         mk(),
 	}
+	s.ReuseHist = backing[:ways:ways]
+	backing = backing[ways:]
+	s.ReuseHistCore = make([][]uint64, cores)
+	for i := range s.ReuseHistCore {
+		s.ReuseHistCore[i] = backing[:ways:ways]
+		backing = backing[ways:]
+	}
+	return s
 }
 
 // MissRate returns total misses / total accesses across cores.
@@ -119,22 +130,30 @@ func (s *Stats) MissRate() float64 {
 	return float64(m) / float64(a)
 }
 
-// MissRateCore returns core's miss ratio.
+// MissRateCore returns core's miss ratio: 0 when core made no accesses or
+// is outside the configured core range.
 func (s *Stats) MissRateCore(core int) float64 {
-	if s.Accesses[core] == 0 {
+	if core < 0 || core >= len(s.Accesses) || s.Accesses[core] == 0 {
 		return 0
 	}
 	return float64(s.Misses[core]) / float64(s.Accesses[core])
 }
 
 // ContentionRate returns core's thefts experienced per demand access —
-// the paper's contention/interference rate for the LLC.
+// the paper's contention/interference rate for the LLC. It is 0 when core
+// made no accesses or is outside the configured core range.
 func (s *Stats) ContentionRate(core int) float64 {
-	if s.Accesses[core] == 0 {
+	if core < 0 || core >= len(s.Accesses) || s.Accesses[core] == 0 {
 		return 0
 	}
 	return float64(s.TheftsExperienced[core]) / float64(s.Accesses[core])
 }
+
+// noTag is the tag-array value for an invalid way and the memo value for
+// "no memoised hit". Real tags cannot collide with it: a tag is a block
+// address shifted right by 6 + setBits bits, so it occupies at most 58
+// bits.
+const noTag = ^uint64(0)
 
 // Cache is a single set-associative write-back cache.
 type Cache struct {
@@ -147,6 +166,49 @@ type Cache struct {
 	Stats    Stats
 	injector Injector          // LLC only; may be nil
 	wbSink   func(addr uint64) // receives PInTE-displaced dirty blocks
+	// tags mirrors blocks: tags[i] is blocks[i].Tag when the block is
+	// valid and noTag otherwise, so the way-lookup scan touches 8 bytes
+	// per way instead of a whole Block and needs no Valid check.
+	tags []uint64
+	// memoTag/memoWay/memoPos memoise, per set, the block of the set's
+	// most recent demand hit so that repeat hits — the dominant access
+	// pattern on the L1s — skip the way scan and the replacement-policy
+	// calls. memoTag[set] is noTag when nothing is memoised; memoPos is
+	// the cached HitPosition (-1 = not yet computed). Any mutation of a
+	// set (fill, invalidation, extraction, system-side promotion) busts
+	// its memo.
+	memoTag []uint64
+	memoWay []int32
+	memoPos []int32
+	// posTouch is non-nil when the policy supports the fused
+	// HitPosition+OnHit call (one dynamic dispatch on the hit path
+	// instead of two).
+	posTouch interface{ HitPositionTouch(set, way int) int }
+	// gen counts mutations of the block population (fills, evictions,
+	// invalidations, extractions) and observer/injector attachment, so
+	// callers can cheaply detect "nothing changed since I last looked"
+	// (the core front end's fetch-block cache relies on it).
+	gen uint64
+	// Miss memo: a demand miss records the set, tag, first free way and
+	// generation, so the demand fill that follows immediately can skip
+	// re-proving absence and re-scanning for a free way. Any cache
+	// mutation in between (e.g. an injector invalidation or an
+	// inclusive back-invalidation) bumps gen and voids the memo.
+	missSet  int
+	missTag  uint64
+	missFree int32
+	missGen  uint64
+	// lru holds the policy devirtualised when it is the default LRU, so
+	// the hottest policy calls compile to direct (inlinable) calls.
+	lru *replacement.LRU
+	// freeCnt[set] is the number of invalid ways in set. Once a set has
+	// filled up it stays full (evictions are immediately followed by
+	// inserts), so the lookup scan can drop its free-way tracking — one
+	// compare per way instead of two — for the whole steady state.
+	freeCnt []int32
+	// noReuse disables reuse-position (hit-position) tracking; set via
+	// SkipReuseHist on caches whose histograms nothing consumes.
+	noReuse bool
 	// partition holds per-core fill way-masks (0 = unrestricted); see
 	// SetWayPartition.
 	partition []uint64
@@ -184,9 +246,26 @@ func New(cfg Config) (*Cache, error) {
 		ways:    cfg.Ways,
 		setBits: uint(bits.TrailingZeros(uint(sets))),
 		blocks:  make([]Block, sets*cfg.Ways),
+		tags:    make([]uint64, sets*cfg.Ways),
+		memoTag: make([]uint64, sets),
+		memoWay: make([]int32, sets),
+		memoPos: make([]int32, sets),
+		freeCnt: make([]int32, sets),
 		policy:  pol,
 		Stats:   newStats(cfg.Cores, cfg.Ways),
 	}
+	for i := range c.tags {
+		c.tags[i] = noTag
+	}
+	for i := range c.freeCnt {
+		c.freeCnt[i] = int32(cfg.Ways)
+	}
+	for i := range c.memoTag {
+		c.memoTag[i] = noTag
+	}
+	c.posTouch, _ = pol.(interface{ HitPositionTouch(set, way int) int })
+	c.lru, _ = pol.(*replacement.LRU)
+	c.missTag = noTag
 	return c, nil
 }
 
@@ -215,7 +294,23 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) Policy() replacement.Policy { return c.policy }
 
 // SetInjector attaches a PInTE injector; pass nil to detach.
-func (c *Cache) SetInjector(inj Injector) { c.injector = inj }
+func (c *Cache) SetInjector(inj Injector) {
+	c.injector = inj
+	c.gen++
+}
+
+// Gen returns the cache's mutation generation (see the field comment).
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// SkipReuseHist disables reuse-position tracking for this cache: hits
+// still update replacement state but no longer pay the per-hit stack-
+// position walk, and ReuseHist/ReuseHistCore stay zero. The hierarchy
+// applies it to the private levels, whose histograms nothing consumes —
+// only the LLC's reuse histogram is reported (Fig 5/6).
+func (c *Cache) SkipReuseHist() { c.noReuse = true }
+
+// passive reports that no observer or injector watches demand accesses.
+func (c *Cache) passive() bool { return c.observer == nil && c.injector == nil }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	blk := addr / BlockBytes
@@ -224,13 +319,19 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 
 func (c *Cache) findWay(set int, tag uint64) int {
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		b := &c.blocks[base+w]
-		if b.Valid && b.Tag == tag {
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == tag {
 			return w
 		}
 	}
 	return -1
+}
+
+// bustMemo forgets set's repeat-hit memo and advances the mutation
+// generation; every caller is a block-population or stack mutation.
+func (c *Cache) bustMemo(set int) {
+	c.memoTag[set] = noTag
+	c.gen++
 }
 
 // Lookup performs a demand access by core. On a hit the block's
@@ -241,13 +342,55 @@ func (c *Cache) findWay(set int, tag uint64) int {
 func (c *Cache) Lookup(addr uint64, core int, isWrite bool) bool {
 	set, tag := c.index(addr)
 	c.Stats.Accesses[core]++
-	w := c.findWay(set, tag)
+	if c.memoTag[set] == tag {
+		c.repeatHit(addr, set, core, isWrite)
+		return true
+	}
+	base := set * c.ways
+	w, free := -1, -1
+	if c.freeCnt[set] == 0 {
+		// Full set (the steady state): tight match-only scan.
+		for i, t := range c.tags[base : base+c.ways] {
+			if t == tag {
+				w = i
+				break
+			}
+		}
+	} else {
+		// Fused scan: way match for the hit path, first free way for
+		// the miss memo consumed by the demand fill after a miss.
+		for i, t := range c.tags[base : base+c.ways] {
+			if t == tag {
+				w = i
+				break
+			}
+			if free < 0 && t == noTag {
+				free = i
+			}
+		}
+	}
 	hit := w >= 0
 	if hit {
-		b := &c.blocks[set*c.ways+w]
-		pos := c.policy.HitPosition(set, w)
-		c.Stats.ReuseHist[pos]++
-		c.Stats.ReuseHistCore[core][pos]++
+		b := &c.blocks[base+w]
+		if c.noReuse {
+			if c.lru != nil {
+				c.lru.OnHit(set, w)
+			} else {
+				c.policy.OnHit(set, w)
+			}
+		} else {
+			var pos int
+			if c.lru != nil {
+				pos = c.lru.HitPositionTouch(set, w)
+			} else if c.posTouch != nil {
+				pos = c.posTouch.HitPositionTouch(set, w)
+			} else {
+				pos = c.policy.HitPosition(set, w)
+				c.policy.OnHit(set, w)
+			}
+			c.Stats.ReuseHist[pos]++
+			c.Stats.ReuseHistCore[core][pos]++
+		}
 		c.Stats.Hits[core]++
 		if b.Prefetched {
 			b.Prefetched = false
@@ -256,9 +399,12 @@ func (c *Cache) Lookup(addr uint64, core int, isWrite bool) bool {
 		if isWrite {
 			b.Dirty = true
 		}
-		c.policy.OnHit(set, w)
+		c.memoTag[set] = tag
+		c.memoWay[set] = int32(w)
+		c.memoPos[set] = -1
 	} else {
 		c.Stats.Misses[core]++
+		c.missSet, c.missTag, c.missFree, c.missGen = set, tag, int32(free), c.gen
 	}
 	if c.observer != nil {
 		c.observer(addr, core, hit)
@@ -267,6 +413,58 @@ func (c *Cache) Lookup(addr uint64, core int, isWrite bool) bool {
 		c.injector.OnLLCAccess(c, set, core)
 	}
 	return hit
+}
+
+// TryRepeatHit attempts the repeat-hit fast path directly: when addr
+// matches the set's memoised hit it performs the full demand-hit
+// accounting (including observer and injector) and reports true; on a
+// memo mismatch it does nothing and the caller falls back to Lookup.
+func (c *Cache) TryRepeatHit(addr uint64, core int, isWrite bool) bool {
+	set, tag := c.index(addr)
+	if c.memoTag[set] != tag {
+		return false
+	}
+	c.Stats.Accesses[core]++
+	c.repeatHit(addr, set, core, isWrite)
+	return true
+}
+
+// repeatHit services a demand hit on the same block as the set's previous
+// demand hit with no intervening mutation of the set (every fill,
+// invalidation, extraction and system-side promotion busts the memo).
+// The replacement-policy calls are skipped, which is observation-
+// equivalent for every shipped policy: the memo block already received
+// OnHit when the memo was established, a second OnHit on the set's most
+// recently touched way is idempotent for pLRU, nMRU and RRIP, and for
+// timestamp LRU it changes only the block's absolute age — victim choice
+// and stack positions compare ages within the set, and the memo block is
+// already the set's youngest. HitPosition on the unchanged set state is
+// deterministic, so it is computed once and cached. The Prefetched bit
+// needs no check: the slow-path hit that established the memo cleared it.
+func (c *Cache) repeatHit(addr uint64, set, core int, isWrite bool) {
+	if !c.noReuse {
+		pos := int(c.memoPos[set])
+		if pos < 0 {
+			if c.lru != nil {
+				pos = c.lru.HitPosition(set, int(c.memoWay[set]))
+			} else {
+				pos = c.policy.HitPosition(set, int(c.memoWay[set]))
+			}
+			c.memoPos[set] = int32(pos)
+		}
+		c.Stats.ReuseHist[pos]++
+		c.Stats.ReuseHistCore[core][pos]++
+	}
+	c.Stats.Hits[core]++
+	if isWrite {
+		c.blocks[set*c.ways+int(c.memoWay[set])].Dirty = true
+	}
+	if c.observer != nil {
+		c.observer(addr, core, true)
+	}
+	if c.injector != nil {
+		c.injector.OnLLCAccess(c, set, core)
+	}
 }
 
 // Probe reports whether addr is present without disturbing any state.
@@ -281,21 +479,56 @@ func (c *Cache) Probe(addr uint64) bool {
 // prefetched marks prefetch fills.
 func (c *Cache) Fill(addr uint64, core int, dirty, prefetched bool) Victim {
 	set, tag := c.index(addr)
+	base := set * c.ways
+	if c.partition == nil {
+		free := -1
+		if tag == c.missTag && set == c.missSet && c.gen == c.missGen {
+			// The lookup that missed already proved absence and found
+			// the first free way; nothing has mutated since.
+			free = int(c.missFree)
+		} else {
+			// One fused scan doubles as the presence check and the
+			// first-free-way search.
+			for w, t := range c.tags[base : base+c.ways] {
+				if t == tag {
+					// Already present (races between prefetch and
+					// demand paths, or a writeback allocating over an
+					// existing copy): update flags.
+					if dirty {
+						c.blocks[base+w].Dirty = true
+					}
+					return Victim{}
+				}
+				if free < 0 && t == noTag {
+					free = w
+				}
+			}
+		}
+		var victim Victim
+		way := free
+		if way < 0 {
+			if c.lru != nil {
+				way = c.lru.Victim(set)
+			} else {
+				way = c.policy.Victim(set)
+			}
+			victim = c.evict(set, way, core)
+		}
+		c.insert(set, way, tag, core, dirty, prefetched)
+		return victim
+	}
+	// Partitioned: fills are restricted to the core's way mask.
 	if w := c.findWay(set, tag); w >= 0 {
-		// Already present (races between prefetch and demand paths, or
-		// a writeback allocating over an existing copy): update flags.
-		b := &c.blocks[set*c.ways+w]
 		if dirty {
-			b.Dirty = true
+			c.blocks[base+w].Dirty = true
 		}
 		return Victim{}
 	}
-	base := set * c.ways
 	mask := c.fillMask(core)
 	full := uint64(1)<<uint(c.ways) - 1
 	way := -1
 	for w := 0; w < c.ways; w++ {
-		if mask&(1<<uint(w)) != 0 && !c.blocks[base+w].Valid {
+		if mask&(1<<uint(w)) != 0 && c.tags[base+w] == noTag {
 			way = w
 			break
 		}
@@ -309,7 +542,13 @@ func (c *Cache) Fill(addr uint64, core int, dirty, prefetched bool) Victim {
 		}
 		victim = c.evict(set, way, core)
 	}
-	b := &c.blocks[base+way]
+	c.insert(set, way, tag, core, dirty, prefetched)
+	return victim
+}
+
+// insert writes a new block into (set, way), which must be invalid.
+func (c *Cache) insert(set, way int, tag uint64, core int, dirty, prefetched bool) {
+	b := &c.blocks[set*c.ways+way]
 	if b.SysInvalid {
 		// The PInTE engine hollowed this slot out; inserting on it is
 		// the "mock theft" of Fig 2b: the workload behaves as if an
@@ -317,13 +556,19 @@ func (c *Cache) Fill(addr uint64, core int, dirty, prefetched bool) Victim {
 		c.Stats.MockThefts[core]++
 		b.SysInvalid = false
 	}
-	*b = Block{Tag: tag, Valid: true, Dirty: dirty, Prefetched: prefetched, Owner: int8(core)}
+	*b = Block{Valid: true, Dirty: dirty, Prefetched: prefetched, Owner: int8(core)}
+	c.tags[set*c.ways+way] = tag
+	c.freeCnt[set]--
+	c.bustMemo(set)
 	c.Stats.Occupancy[core]++
 	if prefetched {
 		c.Stats.PrefetchFills++
 	}
-	c.policy.OnFill(set, way)
-	return victim
+	if c.lru != nil {
+		c.lru.OnFill(set, way)
+	} else {
+		c.policy.OnFill(set, way)
+	}
 }
 
 // evict removes the valid block at (set, way) on behalf of requester and
@@ -331,7 +576,7 @@ func (c *Cache) Fill(addr uint64, core int, dirty, prefetched bool) Victim {
 func (c *Cache) evict(set, way, requester int) Victim {
 	b := &c.blocks[set*c.ways+way]
 	v := Victim{
-		Addr:  c.blockAddr(set, b.Tag),
+		Addr:  c.blockAddr(set, c.tags[set*c.ways+way]),
 		Owner: int(b.Owner),
 		Valid: true,
 		Dirty: b.Dirty,
@@ -347,7 +592,11 @@ func (c *Cache) evict(set, way, requester int) Victim {
 	c.Stats.Occupancy[b.Owner]--
 	b.Valid = false
 	b.Dirty = false
-	c.policy.OnInvalidate(set, way)
+	c.tags[set*c.ways+way] = noTag
+	c.freeCnt[set]++
+	if c.lru == nil { // LRU.OnInvalidate is a documented no-op
+		c.policy.OnInvalidate(set, way)
+	}
 	return v
 }
 
@@ -368,6 +617,9 @@ func (c *Cache) InvalidateAddr(addr uint64) (found, dirty bool) {
 	c.Stats.Occupancy[b.Owner]--
 	b.Valid = false
 	b.Dirty = false
+	c.tags[set*c.ways+w] = noTag
+	c.freeCnt[set]++
+	c.bustMemo(set)
 	c.policy.OnInvalidate(set, w)
 	return true, dirty
 }
@@ -386,6 +638,9 @@ func (c *Cache) Extract(addr uint64) (dirty, found bool) {
 	c.Stats.Occupancy[b.Owner]--
 	b.Valid = false
 	b.Dirty = false
+	c.tags[set*c.ways+w] = noTag
+	c.freeCnt[set]++
+	c.bustMemo(set)
 	c.policy.OnInvalidate(set, w)
 	return dirty, true
 }

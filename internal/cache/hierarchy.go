@@ -198,6 +198,12 @@ func NewHierarchy(cfg HierarchyConfig, mem Memory) (*Hierarchy, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Only the LLC's reuse histogram is ever reported; skipping the
+		// per-hit stack-position walk on the private levels keeps their
+		// hit path to a plain replacement-state touch.
+		l1i.SkipReuseHist()
+		l1d.SkipReuseHist()
+		l2.SkipReuseHist()
 		h.l1i = append(h.l1i, l1i)
 		h.l1d = append(h.l1d, l1d)
 		h.l2 = append(h.l2, l2)
@@ -206,9 +212,12 @@ func NewHierarchy(cfg HierarchyConfig, mem Memory) (*Hierarchy, error) {
 		if err != nil {
 			return nil, err
 		}
-		h.pfL1I = append(h.pfL1I, pi)
-		h.pfL1D = append(h.pfL1D, pd)
-		h.pfL2 = append(h.pfL2, p2)
+		// Absent prefetchers are stored as nil so the access path can
+		// skip the training call entirely instead of dispatching into a
+		// no-op on every reference.
+		h.pfL1I = append(h.pfL1I, elideNone(pi))
+		h.pfL1D = append(h.pfL1D, elideNone(pd))
+		h.pfL2 = append(h.pfL2, elideNone(p2))
 	}
 	llc, err := cfg.LLC.build("LLC", cfg.Cores, cfg.Seed+0xc0ffee)
 	if err != nil {
@@ -218,6 +227,60 @@ func NewHierarchy(cfg HierarchyConfig, mem Memory) (*Hierarchy, error) {
 	h.Stats.DemandDataAccesses = make([]uint64, cfg.Cores)
 	h.Stats.DemandDataLatency = make([]uint64, cfg.Cores)
 	return h, nil
+}
+
+// elideNone maps the no-op prefetcher to nil.
+func elideNone(p prefetch.Prefetcher) prefetch.Prefetcher {
+	if _, ok := p.(prefetch.None); ok {
+		return nil
+	}
+	return p
+}
+
+// IfetchFastOK reports whether core's instruction-fetch path is
+// hit-neutral right now: a repeat fetch of a still-resident block has no
+// effect beyond the L1I's own counters — no observer, no injector, and no
+// prefetcher that trains on hits (NextLine only acts on misses). The core
+// front end checks this before arming its fetch-block fast path; any
+// later observer/injector attachment bumps the L1I's generation and
+// forces the check to rerun.
+func (h *Hierarchy) IfetchFastOK(core int) bool {
+	if !h.l1i[core].passive() {
+		return false
+	}
+	switch h.pfL1I[core].(type) {
+	case nil, *prefetch.NextLine:
+		return true
+	}
+	return false
+}
+
+// DataFastOK reports whether core's L1D repeat-hit fast path (FastData)
+// is permitted: no L1D prefetcher that trains on hits may be attached.
+// The prefetcher set is fixed at construction, so the result is stable
+// for the hierarchy's lifetime (unlike IfetchFastOK, no generation check
+// is needed — FastData itself verifies the memo before acting).
+func (h *Hierarchy) DataFastOK(core int) bool {
+	switch h.pfL1D[core].(type) {
+	case nil, *prefetch.NextLine:
+		return true
+	}
+	return false
+}
+
+// FastData attempts the L1D repeat-hit fast path for a demand load or
+// store: when the access repeats the set's memoised hit, the full hit
+// accounting (cache counters, observer/injector, AMAT inputs) runs at
+// the L1D hit latency — which implies zero retirement stall — and
+// FastData reports true. Callers must check DataFastOK once up front.
+func (h *Hierarchy) FastData(core int, addr uint64, isWrite bool) bool {
+	l1 := h.l1d[core]
+	if !l1.TryRepeatHit(addr, core, isWrite) {
+		return false
+	}
+	h.Stats.DemandDataAccesses[core]++
+	h.Stats.DemandDataLatency[core] += l1.cfg.HitLatency
+	return true
 }
 
 // MustNewHierarchy is NewHierarchy that panics on configuration errors.
@@ -273,7 +336,9 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, kind AccessKind, now uint6
 		lat += h.fromL2(core, pc, addr, now+lat)
 		h.fillL1(core, l1, addr, isWrite)
 	}
-	h.runPrefetch(core, 1, pf, pc, addr, !hit, now)
+	if pf != nil {
+		h.runPrefetch(core, 1, pf, pc, addr, !hit, now)
+	}
 	if kind != Ifetch {
 		h.Stats.DemandDataAccesses[core]++
 		h.Stats.DemandDataLatency[core] += lat
@@ -290,7 +355,9 @@ func (h *Hierarchy) fromL2(core int, pc, addr uint64, now uint64) uint64 {
 		lat += h.fromLLC(core, addr, now+lat)
 		h.fillL2(core, addr, false)
 	}
-	h.runPrefetch(core, 2, h.pfL2[core], pc, addr, !hit, now)
+	if pf := h.pfL2[core]; pf != nil {
+		h.runPrefetch(core, 2, pf, pc, addr, !hit, now)
+	}
 	return lat
 }
 

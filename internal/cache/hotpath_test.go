@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"testing"
+)
+
+// newBenchLLC builds the paper's LLC geometry (4MB, 16-way) for two
+// cores, pre-filled so lookups exercise steady-state full sets.
+func newBenchLLC(tb testing.TB) *Cache {
+	tb.Helper()
+	c := MustNew(Config{
+		Name: "LLC", SizeBytes: 4 << 20, Ways: 16, HitLatency: 30, Cores: 2,
+	})
+	// Fill every frame: sets*ways distinct blocks.
+	for i := 0; i < c.Sets()*c.Ways(); i++ {
+		c.Fill(uint64(i)*BlockBytes, i%2, false, false)
+	}
+	return c
+}
+
+// BenchmarkLLCLookup measures the demand-lookup fast path on a full LLC:
+// a hit-heavy stream with periodic repeat hits (the memo path) and
+// misses (the scan + miss-memo path). This is the innermost call of
+// every simulated memory access.
+func BenchmarkLLCLookup(b *testing.B) {
+	c := newBenchLLC(b)
+	resident := uint64(c.Sets()*c.Ways()) * BlockBytes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * BlockBytes
+		c.Lookup(addr%resident, 0, false) // hit
+		c.Lookup(addr%resident, 0, false) // repeat hit (memo path)
+		c.Lookup(resident+addr, 0, false) // miss
+	}
+}
+
+// BenchmarkLLCLookupFill measures the full miss-then-fill sequence the
+// hierarchy performs on every demand miss, including eviction.
+func BenchmarkLLCLookupFill(b *testing.B) {
+	c := newBenchLLC(b)
+	resident := uint64(c.Sets()*c.Ways()) * BlockBytes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := resident + uint64(i)*BlockBytes
+		if c.Lookup(addr, 0, false) {
+			b.Fatal("unexpected hit")
+		}
+		c.Fill(addr, 0, false, false)
+	}
+}
+
+// TestLookupFillNoAllocs guards the allocation-free hot path: steady-
+// state demand lookups and fills must not allocate — any regression here
+// multiplies across hundreds of millions of simulated accesses.
+func TestLookupFillNoAllocs(t *testing.T) {
+	c := newBenchLLC(t)
+	resident := uint64(c.Sets()*c.Ways()) * BlockBytes
+	var i uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		addr := i * BlockBytes
+		c.Lookup(addr%resident, 0, false) // hit
+		c.Lookup(addr%resident, 0, true)  // repeat hit (write)
+		miss := resident + addr
+		c.Lookup(miss, 1, false) // miss
+		c.Fill(miss, 1, false, false)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("lookup/fill hot path allocates %.1f times per access group, want 0", allocs)
+	}
+}
+
+// TestStatsRatesGuardZeroAndRange pins the rate accessors' edge
+// behaviour: no accesses or an out-of-range core must yield 0, never NaN
+// or a panic (sweep reports serialise these values straight to JSON).
+func TestStatsRatesGuardZeroAndRange(t *testing.T) {
+	fresh := func() *Cache {
+		return MustNew(Config{Name: "t", SizeBytes: 1 << 10, Ways: 2, HitLatency: 1, Cores: 2})
+	}
+	cases := []struct {
+		name string
+		prep func(*Cache)
+		rate func(*Cache) float64
+		want float64
+	}{
+		{"MissRate/no-accesses", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.MissRate() }, 0},
+		{"MissRateCore/no-accesses", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.MissRateCore(0) }, 0},
+		{"MissRateCore/negative-core", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.MissRateCore(-1) }, 0},
+		{"MissRateCore/core-past-range", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.MissRateCore(7) }, 0},
+		{"ContentionRate/no-accesses", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.ContentionRate(1) }, 0},
+		{"ContentionRate/negative-core", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.ContentionRate(-3) }, 0},
+		{"ContentionRate/core-past-range", func(*Cache) {}, func(c *Cache) float64 { return c.Stats.ContentionRate(2) }, 0},
+		{
+			"MissRateCore/idle-core-while-other-active",
+			func(c *Cache) { c.Lookup(0, 0, false) },
+			func(c *Cache) float64 { return c.Stats.MissRateCore(1) },
+			0,
+		},
+		{
+			"MissRate/all-misses",
+			func(c *Cache) { c.Lookup(0, 0, false); c.Lookup(1<<20, 1, false) },
+			func(c *Cache) float64 { return c.Stats.MissRate() },
+			1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := fresh()
+			tc.prep(c)
+			got := tc.rate(c)
+			if got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			if got != got {
+				t.Fatal("rate returned NaN")
+			}
+		})
+	}
+}

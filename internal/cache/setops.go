@@ -37,6 +37,7 @@ func (c *Cache) AtStackEnd(set, way int) bool {
 // PromoteBlock moves (set, way) to the most-recently-used end of the
 // stack as if the system had inserted a block there (PInTE PROMOTE).
 func (c *Cache) PromoteBlock(set, way int) {
+	c.bustMemo(set)
 	c.policy.Promote(set, way)
 }
 
@@ -55,13 +56,16 @@ func (c *Cache) SysInvalidate(set, way int) {
 	if b.Dirty {
 		c.Stats.Writebacks++
 		if c.wbSink != nil {
-			c.wbSink(c.blockAddr(set, b.Tag))
+			c.wbSink(c.blockAddr(set, c.tags[set*c.ways+way]))
 		}
 	}
 	c.Stats.Occupancy[owner]--
 	b.Valid = false
 	b.Dirty = false
 	b.SysInvalid = true
+	c.tags[set*c.ways+way] = noTag
+	c.freeCnt[set]++
+	c.bustMemo(set)
 	c.policy.OnInvalidate(set, way)
 }
 
@@ -75,4 +79,5 @@ func (c *Cache) SetWritebackSink(sink func(addr uint64)) { c.wbSink = sink }
 // disturbing cache state. Pass nil to detach.
 func (c *Cache) SetAccessObserver(obs func(addr uint64, core int, hit bool)) {
 	c.observer = obs
+	c.gen++
 }

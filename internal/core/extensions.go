@@ -18,9 +18,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"repro/internal/cache"
+	"repro/internal/rng"
 )
 
 // DRAMContentionParams configures injected memory-side contention.
@@ -58,7 +58,7 @@ type DRAMContentionStats struct {
 type DRAMContention struct {
 	params DRAMContentionParams
 	mem    cache.Memory
-	rng    *rand.Rand
+	rng    rng.PCG
 	Stats  DRAMContentionStats
 }
 
@@ -70,11 +70,9 @@ func NewDRAMContention(p DRAMContentionParams, mem cache.Memory) (*DRAMContentio
 	if mem == nil {
 		return nil, fmt.Errorf("pinte: DRAM contention requires a memory to wrap")
 	}
-	return &DRAMContention{
-		params: p,
-		mem:    mem,
-		rng:    rand.New(rand.NewPCG(p.Seed, 0x6a09e667f3bcc909)),
-	}, nil
+	d := &DRAMContention{params: p, mem: mem}
+	d.rng.Seed(p.Seed, 0x6a09e667f3bcc909)
+	return d, nil
 }
 
 var _ cache.Memory = (*DRAMContention)(nil)
@@ -105,7 +103,7 @@ func (d *DRAMContention) ResetStats() { d.Stats = DRAMContentionStats{} }
 type Ticker struct {
 	engine *Engine
 	llc    *cache.Cache
-	rng    *rand.Rand
+	rng    rng.PCG
 	// Tries is how many candidate sets each tick samples; 0 means 8.
 	Tries int
 	// Ticks counts invocations.
@@ -120,11 +118,9 @@ func NewTicker(engine *Engine, llc *cache.Cache) (*Ticker, error) {
 	if engine == nil || llc == nil {
 		return nil, fmt.Errorf("pinte: ticker requires an engine and an LLC")
 	}
-	return &Ticker{
-		engine: engine,
-		llc:    llc,
-		rng:    rand.New(rand.NewPCG(engine.params.Seed, 0xbb67ae8584caa73b)),
-	}, nil
+	t := &Ticker{engine: engine, llc: llc}
+	t.rng.Seed(engine.params.Seed, 0xbb67ae8584caa73b)
+	return t, nil
 }
 
 // validWays counts valid blocks in a set.

@@ -10,9 +10,9 @@ package core
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"repro/internal/cache"
+	"repro/internal/rng"
 )
 
 // State enumerates the Fig 4 flow states. UpdateAccess is performed by
@@ -113,8 +113,11 @@ type Event struct {
 // cache.SetInjector. Not safe for concurrent use.
 type Engine struct {
 	params Params
-	rng    *rand.Rand
-	Stats  Stats
+	// rng is embedded by value so the per-access trigger draw inlines
+	// without a pointer chase; streams are bit-identical to the previous
+	// math/rand/v2 implementation (see internal/rng).
+	rng   rng.PCG
+	Stats Stats
 
 	// Trace, when non-nil, observes every state transition; used by the
 	// Fig 2 walkthrough example and by tests.
@@ -127,10 +130,9 @@ func NewEngine(p Params) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{
-		params: p,
-		rng:    rand.New(rand.NewPCG(p.Seed, 0x853c49e6748fea9b)),
-	}, nil
+	e := &Engine{params: p}
+	e.rng.Seed(p.Seed, 0x853c49e6748fea9b)
+	return e, nil
 }
 
 // MustNewEngine is NewEngine that panics on invalid parameters.

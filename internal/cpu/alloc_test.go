@@ -1,0 +1,38 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/trace"
+)
+
+// TestCoreStepNoAllocs guards the allocation-free simulation loop: once
+// a core is constructed and warm, stepping through generated
+// instructions — trace refills, branch prediction, the full cache walk,
+// fills and evictions — must not touch the heap.
+func TestCoreStepNoAllocs(t *testing.T) {
+	spec := trace.Spec{
+		Name:           "alloc-guard",
+		MemFrac:        0.4,
+		StoreFrac:      0.2,
+		SecondLoadFrac: 0.1,
+		BranchFrac:     0.15,
+		BranchEntropy:  0.4,
+		Regions: []trace.Region{
+			{SizeBytes: 64 << 10, Weight: 1, Pattern: trace.Sequential},
+			{SizeBytes: 256 << 10, Weight: 1, Pattern: trace.Random},
+		},
+	}
+	g := trace.MustGenerator(spec, 1, 0)
+	c := NewCore(0, Config{}, g, testHier(1), branch.MustNew("hashed-perceptron"))
+	c.Step(20_000) // warm caches, batch buffer and predictor tables
+	allocs := testing.AllocsPerRun(20, func() {
+		if ran := c.Step(500); ran != 500 {
+			t.Fatalf("Step ran %d, want 500", ran)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.1f times per 500 instrs, want 0", allocs)
+	}
+}

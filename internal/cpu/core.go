@@ -13,6 +13,7 @@ package cpu
 import (
 	"errors"
 	"io"
+	"math/bits"
 
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -60,12 +61,18 @@ func (s *Stats) BranchAccuracy() float64 {
 	return 1 - float64(s.Mispredicts)/float64(s.Branches)
 }
 
+// batchSize is how many trace records a core pulls per refill when its
+// reader supports batching: large enough to amortise the dispatch, small
+// enough (batchSize × 48B ≈ 12KB) to stay cache-resident.
+const batchSize = 256
+
 // Core executes a trace against a hierarchy.
 type Core struct {
 	ID int
 
 	cfg    Config
 	reader trace.Reader
+	batch  trace.BatchReader // non-nil when reader supports batching
 	hier   *cache.Hierarchy
 	bp     branch.Predictor
 
@@ -75,21 +82,61 @@ type Core struct {
 
 	widthAcc int
 	l1dLat   uint64
+	l1iLat   uint64
+	// mlpShift replaces the MLP division with a shift when MLP is a
+	// power of two (the common configurations: 1, 2, 4, 8); -1 otherwise.
+	mlpShift int
 	done     bool
 	err      error
 	rec      trace.Record
+
+	// Fetch-block cache: fetchBlk is the cache block of the previous
+	// instruction fetch and fetchGen the L1I generation observed right
+	// after it. While both still match, a fetch is a guaranteed L1I hit
+	// at the hit latency (zero front-end stall) and — because the fetch
+	// path was hit-neutral when the snapshot was taken (see
+	// Hierarchy.IfetchFastOK) — the full access walk can be skipped.
+	// Only the L1I's own access counters diverge; nothing reads them
+	// per-fetch.
+	l1i      *cache.Cache
+	fetchBlk uint64
+	fetchGen uint64
+
+	// dataFast arms the L1D repeat-hit fast path (Hierarchy.FastData):
+	// loads and stores that repeat the previous hit in their set settle
+	// at the L1D hit latency without walking the access path. Fixed at
+	// construction — it depends only on the prefetcher configuration.
+	dataFast bool
+
+	// recs[recPos:recLen] is the pending slice of the current batch.
+	recs   []trace.Record
+	recPos int
+	recLen int
 }
 
 // NewCore builds a core. bp may be nil for a perfect branch predictor.
 func NewCore(id int, cfg Config, r trace.Reader, h *cache.Hierarchy, bp branch.Predictor) *Core {
-	return &Core{
-		ID:     id,
-		cfg:    cfg.withDefaults(),
-		reader: r,
-		hier:   h,
-		bp:     bp,
-		l1dLat: h.L1D(id).HitLatency(),
+	c := &Core{
+		ID:       id,
+		cfg:      cfg.withDefaults(),
+		reader:   r,
+		hier:     h,
+		bp:       bp,
+		l1dLat:   h.L1D(id).HitLatency(),
+		l1iLat:   h.L1I(id).HitLatency(),
+		l1i:      h.L1I(id),
+		fetchBlk: ^uint64(0),
+		dataFast: h.DataFastOK(id),
 	}
+	if br, ok := r.(trace.BatchReader); ok {
+		c.batch = br
+		c.recs = make([]trace.Record, batchSize)
+	}
+	c.mlpShift = -1
+	if mlp := c.cfg.MLP; mlp&(mlp-1) == 0 {
+		c.mlpShift = bits.TrailingZeros(uint(mlp))
+	}
+	return c
 }
 
 // Done reports whether the core's trace is exhausted.
@@ -116,6 +163,7 @@ func (c *Core) Rewind() bool {
 	}
 	rw.Rewind()
 	c.done = false
+	c.recPos, c.recLen = 0, 0 // discard records buffered past the rewind
 	return true
 }
 
@@ -124,6 +172,9 @@ func (c *Core) Rewind() bool {
 func (c *Core) Step(n uint64) uint64 {
 	if c.done || c.err != nil {
 		return 0
+	}
+	if c.batch != nil {
+		return c.stepBatched(n)
 	}
 	var executed uint64
 	for ; executed < n; executed++ {
@@ -140,12 +191,54 @@ func (c *Core) Step(n uint64) uint64 {
 	return executed
 }
 
+// stepBatched is Step over a BatchReader: records are pulled batchSize at
+// a time, so the per-instruction cost is one direct retire call instead
+// of an interface dispatch plus error check.
+func (c *Core) stepBatched(n uint64) uint64 {
+	var executed uint64
+	for executed < n {
+		if c.recPos >= c.recLen {
+			m, err := c.batch.NextBatch(c.recs)
+			if m == 0 {
+				if err == nil || errors.Is(err, io.EOF) {
+					c.done = true
+				} else {
+					c.err = err
+				}
+				break
+			}
+			c.recLen, c.recPos = m, 0
+		}
+		// Retire the buffered records, at most n in total.
+		avail := uint64(c.recLen - c.recPos)
+		if rem := n - executed; avail > rem {
+			avail = rem
+		}
+		for i := uint64(0); i < avail; i++ {
+			c.retire(&c.recs[c.recPos])
+			c.recPos++
+		}
+		executed += avail
+	}
+	return executed
+}
+
 func (c *Core) retire(rec *trace.Record) {
 	// Front-end: instruction fetch. A miss past the L1I stalls the
-	// front end for the excess latency.
-	il := c.hier.Access(c.ID, rec.PC, rec.PC, cache.Ifetch, c.Cycles)
-	if l1i := c.hier.L1I(c.ID).HitLatency(); il > l1i {
-		c.Cycles += il - l1i
+	// front end for the excess latency. Fetches into the same block as
+	// the previous instruction skip the walk while the L1I is unchanged:
+	// the block is resident (the previous fetch hit it or filled it), so
+	// the fetch hits at the L1I latency and stalls nothing.
+	if blk := rec.PC / cache.BlockBytes; blk != c.fetchBlk || c.l1i.Gen() != c.fetchGen {
+		il := c.hier.Access(c.ID, rec.PC, rec.PC, cache.Ifetch, c.Cycles)
+		if il > c.l1iLat {
+			c.Cycles += il - c.l1iLat
+		}
+		if c.hier.IfetchFastOK(c.ID) {
+			c.fetchBlk, c.fetchGen = blk, c.l1i.Gen()
+		} else {
+			c.fetchBlk = ^uint64(0)
+		}
 	}
 
 	// Issue-width throughput: one cycle per Width instructions.
@@ -179,20 +272,29 @@ func (c *Core) retire(rec *trace.Record) {
 		c.Stats.Stores++
 		// Stores retire through the write buffer: cache state updates
 		// but no retirement stall is charged.
-		c.hier.Access(c.ID, rec.PC, rec.Store, cache.StoreAccess, c.Cycles)
+		if !(c.dataFast && c.hier.FastData(c.ID, rec.Store, true)) {
+			c.hier.Access(c.ID, rec.PC, rec.Store, cache.StoreAccess, c.Cycles)
+		}
 	}
 
 	c.Instrs++
 }
 
 func (c *Core) loadStall(pc, addr uint64, dependent bool) {
+	if c.dataFast && c.hier.FastData(c.ID, addr, false) {
+		return // repeat L1D hit: settles at the hit latency, no stall
+	}
 	lat := c.hier.Access(c.ID, pc, addr, cache.Load, c.Cycles)
 	if lat <= c.l1dLat {
 		return
 	}
 	stall := lat - c.l1dLat
 	if !dependent {
-		stall /= uint64(c.cfg.MLP)
+		if c.mlpShift >= 0 {
+			stall >>= uint(c.mlpShift)
+		} else {
+			stall /= uint64(c.cfg.MLP)
+		}
 	}
 	c.Cycles += stall
 	c.Stats.LoadStall += stall

@@ -1,0 +1,108 @@
+// Package prof wires the standard Go profilers into a command line.
+//
+// Both simulator binaries expose the same three flags (-cpuprofile,
+// -memprofile, -trace); Flags registers them and Start arms whichever
+// were set, returning a stop function the caller defers. The outputs
+// load directly into `go tool pprof` / `go tool trace`, which is how
+// the hot-path numbers in DESIGN.md were gathered.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Options names the profile outputs. Empty fields are disabled.
+type Options struct {
+	CPUProfile string // pprof CPU profile path
+	MemProfile string // pprof heap profile path (written at stop)
+	Trace      string // runtime execution trace path
+}
+
+// Flags registers -cpuprofile, -memprofile and -trace on fs (the
+// default flag set when fs is nil) and returns the Options they fill.
+func Flags(fs *flag.FlagSet) *Options {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	o := &Options{}
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&o.Trace, "trace", "", "write a runtime execution trace to this file")
+	return o
+}
+
+// Start arms the requested profilers. The returned stop function
+// flushes and closes every output; call it exactly once, after the
+// workload finishes (defer is fine). A nil receiver or an all-empty
+// Options yields a no-op stop.
+func (o *Options) Start() (stop func() error, err error) {
+	if o == nil {
+		return func() error { return nil }, nil
+	}
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck // best-effort unwind
+		}
+		return nil, err
+	}
+
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if o.Trace != "" {
+		f, err := os.Create(o.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if o.MemProfile != "" {
+		path := o.MemProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -43,36 +43,59 @@ func (p *LRU) OnInvalidate(set, way int) {}
 // Victim implements Policy: the way with the oldest timestamp.
 func (p *LRU) Victim(set int) int {
 	base := set * p.ways
-	best, bestAge := 0, p.age[base]
-	for w := 1; w < p.ways; w++ {
-		if a := p.age[base+w]; a < bestAge {
-			best, bestAge = w, a
+	ages := p.age[base : base+p.ways]
+	best, bestAge := 0, ages[0]
+	for w, a := range ages[1:] {
+		if a < bestAge {
+			best, bestAge = w+1, a
 		}
 	}
 	return best
 }
 
-// AtStackEnd implements Policy: true for the oldest way.
+// AtStackEnd implements Policy: true for the oldest way. Touched ways
+// have unique ages (the clock is monotonic), so a strict compare excludes
+// way itself and ties between never-touched (age 0) ways resolve the same
+// as an explicit self-skip would.
 func (p *LRU) AtStackEnd(set, way int) bool {
 	base := set * p.ways
 	a := p.age[base+way]
-	for w := 0; w < p.ways; w++ {
-		if w != way && p.age[base+w] < a {
+	for _, x := range p.age[base : base+p.ways] {
+		if x < a {
 			return false
 		}
 	}
 	return true
 }
 
-// HitPosition implements Policy: the number of ways younger than way.
+// HitPosition implements Policy: the number of ways younger than way. The
+// strict compare never counts way itself (see AtStackEnd).
 func (p *LRU) HitPosition(set, way int) int {
 	base := set * p.ways
 	a := p.age[base+way]
 	pos := 0
-	for w := 0; w < p.ways; w++ {
-		if w != way && p.age[base+w] > a {
+	for _, x := range p.age[base : base+p.ways] {
+		if x > a {
 			pos++
 		}
 	}
+	return pos
+}
+
+// HitPositionTouch is HitPosition immediately followed by OnHit, fused
+// into one pass so the demand-hit path pays a single dynamic call and a
+// single walk of the set's ages.
+func (p *LRU) HitPositionTouch(set, way int) int {
+	base := set * p.ways
+	ages := p.age[base : base+p.ways]
+	a := ages[way]
+	pos := 0
+	for _, x := range ages {
+		if x > a {
+			pos++
+		}
+	}
+	p.clock++
+	ages[way] = p.clock
 	return pos
 }

@@ -1,6 +1,6 @@
 package replacement
 
-import "math/rand/v2"
+import "repro/internal/rng"
 
 // NMRU is not-most-recently-used replacement: it protects only the single
 // most recently touched block per set and victimises a uniformly random
@@ -9,13 +9,15 @@ import "math/rand/v2"
 type NMRU struct {
 	ways int
 	mru  []int32
-	rng  *rand.Rand
+	rng  rng.PCG
 }
 
 // NewNMRU returns an nMRU policy whose random victim stream is seeded by
 // seed; call Reset before use.
 func NewNMRU(seed uint64) *NMRU {
-	return &NMRU{rng: rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))}
+	p := &NMRU{}
+	p.rng.Seed(seed, 0xda3e39cb94b95bdb)
+	return p
 }
 
 // Name implements Policy.

@@ -1,0 +1,112 @@
+// Package rng provides an allocation-free, inlinable PCG-DXSM generator
+// that reproduces math/rand/v2's output streams bit for bit.
+//
+// The simulator draws one or more uniforms per simulated instruction
+// (trace decisions, the PInTE trigger, randomised replacement), which
+// made the rand.Rand → Source interface indirection one of the hottest
+// edges in the CPU profile. This package flattens that edge: PCG is a
+// concrete struct whose methods the compiler can inline into the trace
+// generator's and engine's hot loops, while every algorithm (the DXSM
+// output permutation, the Lemire reduction for IntN, the 53-bit Float64)
+// is copied from math/rand/v2 so that seeds produce *identical* random
+// streams. TestMatchesStdlib locks that equivalence down; the golden
+// determinism test in internal/sim depends on it.
+//
+// One deliberate difference: math/rand/v2 routes small bounds through
+// 32-bit math on 32-bit platforms (same output sequence, per its own
+// comments). This package always uses the 64-bit path, so streams are
+// identical across platforms by construction.
+package rng
+
+import "math/bits"
+
+// PCG is a PCG-DXSM generator with 128 bits of state, stream-compatible
+// with math/rand/v2.PCG. The zero value is equivalent to New(0, 0).
+// It is not safe for concurrent use.
+type PCG struct {
+	hi uint64
+	lo uint64
+}
+
+// New returns a PCG seeded like math/rand/v2's NewPCG(seed1, seed2).
+func New(seed1, seed2 uint64) *PCG {
+	return &PCG{hi: seed1, lo: seed2}
+}
+
+// Seed resets the generator to New(seed1, seed2)'s state.
+func (p *PCG) Seed(seed1, seed2 uint64) {
+	p.hi = seed1
+	p.lo = seed2
+}
+
+// next advances the 128-bit LCG state (constants from math/rand/v2).
+func (p *PCG) next() (hi, lo uint64) {
+	const (
+		mulHi = 2549297995355413924
+		mulLo = 4865540595714422341
+		incHi = 6364136223846793005
+		incLo = 1442695040888963407
+	)
+	hi, lo = bits.Mul64(p.lo, mulLo)
+	hi += p.hi*mulLo + p.lo*mulHi
+	lo, c := bits.Add64(lo, incLo, 0)
+	hi, _ = bits.Add64(hi, incHi, c)
+	p.lo = lo
+	p.hi = hi
+	return hi, lo
+}
+
+// Uint64 returns a uniformly distributed uint64 (DXSM output function).
+func (p *PCG) Uint64() uint64 {
+	hi, lo := p.next()
+	const cheapMul = 0xda942042e4dd58b5
+	hi ^= hi >> 32
+	hi *= cheapMul
+	hi ^= hi >> 48
+	hi *= lo | 1
+	return hi
+}
+
+// Float64 returns a uniform in [0, 1) with 53 bits of precision.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()<<11>>11) / (1 << 53)
+}
+
+// Uint64N returns a uniform in [0, n). It panics if n == 0.
+func (p *PCG) Uint64N(n uint64) uint64 {
+	if n == 0 {
+		panic("invalid argument to Uint64N")
+	}
+	return p.uint64n(n)
+}
+
+// uint64n is math/rand/v2's Lemire reduction with near-never rejection.
+func (p *PCG) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // power of two: mask
+		return p.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(p.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(p.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Int64N returns a uniform in [0, n). It panics if n <= 0.
+func (p *PCG) Int64N(n int64) int64 {
+	if n <= 0 {
+		panic("invalid argument to Int64N")
+	}
+	return int64(p.uint64n(uint64(n)))
+}
+
+// IntN returns a uniform in [0, n). It panics if n <= 0.
+func (p *PCG) IntN(n int) int {
+	if n <= 0 {
+		panic("invalid argument to IntN")
+	}
+	return int(p.uint64n(uint64(n)))
+}

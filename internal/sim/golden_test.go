@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/sim -run TestGoldenDeterminism -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfigs is the fixed-seed configuration matrix the golden test
+// pins down: one run per contention mode, small enough to keep the test
+// fast but long enough to exercise warm-up, sampling, eviction, theft
+// accounting, the PInTE engine and the DRAM model.
+func goldenConfigs() map[string]Config {
+	return map[string]Config{
+		"isolation": {
+			Workload:     "450.soplex",
+			WarmupInstrs: 20_000,
+			ROIInstrs:    60_000,
+			SampleEvery:  20_000,
+			Seed:         1,
+		},
+		"pinte": {
+			Mode:         PInTE,
+			Workload:     "450.soplex",
+			PInduce:      0.3,
+			WarmupInstrs: 20_000,
+			ROIInstrs:    60_000,
+			SampleEvery:  20_000,
+			Seed:         1,
+		},
+		"second-trace": {
+			Mode:         SecondTrace,
+			Workload:     "433.milc",
+			Adversary:    "470.lbm",
+			WarmupInstrs: 20_000,
+			ROIInstrs:    60_000,
+			SampleEvery:  20_000,
+			Seed:         7,
+		},
+		"pinte-random-workload": {
+			Mode:         PInTE,
+			Workload:     "429.mcf",
+			PInduce:      0.7,
+			WarmupInstrs: 10_000,
+			ROIInstrs:    40_000,
+			SampleEvery:  20_000,
+			Seed:         3,
+		},
+	}
+}
+
+// goldenBytes serialises a Result deterministically: WallTime is the one
+// field that legitimately varies between runs, so it is zeroed.
+func goldenBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	r := *res
+	r.WallTime = 0
+	b, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenDeterminism locks fixed-seed simulation output byte-for-byte.
+// It protects two invariants at once: (1) hot-path optimisations must not
+// change simulation semantics, and (2) the resume journal's SHA-256
+// config keying (internal/runner) stays meaningful, because a journaled
+// result recalled under the same config must equal a fresh run.
+func TestGoldenDeterminism(t *testing.T) {
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenBytes(t, res)
+
+			path := filepath.Join("testdata", "golden_"+name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("result for %q diverged from golden %s\n"+
+					"fixed-seed output must be byte-identical; if the change is an "+
+					"intentional RNG-stream or model change, regenerate with -update "+
+					"and document it in DESIGN.md", name, path)
+			}
+		})
+	}
+}
+
+// TestGoldenRerunStability double-checks that two in-process runs of the
+// same config are byte-identical (no hidden global state), independent of
+// the on-disk goldens.
+func TestGoldenRerunStability(t *testing.T) {
+	cfg := goldenConfigs()["pinte"]
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(goldenBytes(t, a), goldenBytes(t, b)) {
+		t.Fatal("two runs of an identical config diverged")
+	}
+}

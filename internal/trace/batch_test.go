@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+// TestNextBatchMatchesNext verifies the BatchReader contract: batched and
+// record-at-a-time traversal of the same spec+seed produce identical
+// record sequences, for batch sizes that do and do not divide the total.
+func TestNextBatchMatchesNext(t *testing.T) {
+	spec := MustLookup("450.soplex").Spec
+	const total = 10_000
+	for _, bs := range []int{1, 7, 64, 256, 1000} {
+		one := MustGenerator(spec, 42, 0)
+		bat := MustGenerator(spec, 42, 0)
+		buf := make([]Record, bs)
+		var ref Record
+		seen := 0
+		for seen < total {
+			n, err := bat.NextBatch(buf)
+			if err != nil || n != bs {
+				t.Fatalf("batch %d: NextBatch = (%d, %v), want (%d, nil)", bs, n, err, bs)
+			}
+			for i := 0; i < n && seen < total; i++ {
+				if err := one.Next(&ref); err != nil {
+					t.Fatal(err)
+				}
+				if buf[i] != ref {
+					t.Fatalf("batch %d record %d: %+v != %+v", bs, seen, buf[i], ref)
+				}
+				seen++
+			}
+		}
+	}
+}
+
+// TestLimiterNextBatch checks clamping at the limit and the
+// (n > 0 implies nil error) contract for both delegation paths.
+func TestLimiterNextBatch(t *testing.T) {
+	spec := MustLookup("429.mcf").Spec
+
+	// Delegating path: the wrapped reader is itself a BatchReader.
+	l := Limit(MustGenerator(spec, 1, 0), 100)
+	buf := make([]Record, 64)
+	var got int
+	for {
+		n, err := l.NextBatch(buf)
+		if n > 0 && err != nil {
+			t.Fatalf("NextBatch returned n=%d with err=%v", n, err)
+		}
+		if n == 0 {
+			if err != io.EOF {
+				t.Fatalf("NextBatch end: err = %v, want io.EOF", err)
+			}
+			break
+		}
+		got += n
+	}
+	if got != 100 {
+		t.Fatalf("limited batch read yielded %d records, want 100", got)
+	}
+
+	// Fallback path: wrap a Reader that hides its batching ability.
+	type plain struct{ Reader }
+	l = Limit(plain{MustGenerator(spec, 1, 0)}, 100)
+	got = 0
+	for {
+		n, err := l.NextBatch(buf)
+		if n == 0 {
+			if err != io.EOF {
+				t.Fatalf("fallback end: err = %v, want io.EOF", err)
+			}
+			break
+		}
+		got += n
+	}
+	if got != 100 {
+		t.Fatalf("fallback batch read yielded %d records, want 100", got)
+	}
+
+	// Rewind restores the full budget.
+	l.Rewind()
+	if n, err := l.NextBatch(buf); n != 64 || err != nil {
+		t.Fatalf("after Rewind: NextBatch = (%d, %v), want (64, nil)", n, err)
+	}
+}
+
+// BenchmarkTraceGen measures record generation throughput through both
+// entry points; the batched path is the one the core timing loop uses.
+func BenchmarkTraceGen(b *testing.B) {
+	spec := MustLookup("450.soplex").Spec
+	b.Run("Next", func(b *testing.B) {
+		g := MustGenerator(spec, 1, 0)
+		b.ReportAllocs()
+		var rec Record
+		for i := 0; i < b.N; i++ {
+			if err := g.Next(&rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NextBatch", func(b *testing.B) {
+		g := MustGenerator(spec, 1, 0)
+		buf := make([]Record, 256)
+		b.ReportAllocs()
+		for done := 0; done < b.N; done += len(buf) {
+			if _, err := g.NextBatch(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

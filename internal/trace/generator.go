@@ -3,7 +3,8 @@ package trace
 import (
 	"fmt"
 	"io"
-	"math/rand/v2"
+
+	"repro/internal/rng"
 )
 
 // Pattern describes how a memory region is walked.
@@ -187,18 +188,31 @@ type Generator struct {
 	seed uint64
 	base uint64 // address-space base (per-core offset in multi-core runs)
 
-	rng     *rand.Rand
+	// rng is embedded by value: the generator draws one or more uniforms
+	// per instruction, so the state must live in the generator's own
+	// cache lines and the draw methods must inline (see internal/rng).
+	// The streams are bit-identical to the math/rand/v2 PCG this code
+	// used previously — fixed seeds keep producing identical workloads.
+	rng     rng.PCG
 	issued  uint64
 	regions []regionState
 	cumW    []float64 // cumulative region weights for current phase
 	cumWAlt []float64 // cumulative weights for the odd phase
 	phase   uint64
+	// phaseLeft counts down to the next phase flip (0 = no phasing), so
+	// the per-record path needs no modulo on issued.
+	phaseLeft uint64
 
 	// instruction side
 	codeBlocks int
-	curBlock   int
-	blockPos   int
-	blockLen   int
+	// codeMask is codeBlocks-1 when codeBlocks is a power of two (the
+	// default 16KB code footprint gives 512 blocks), letting the
+	// per-branch successor computation use a mask instead of a modulo;
+	// -1 otherwise.
+	codeMask int
+	curBlock int
+	blockPos int
+	blockLen int
 
 	branches []branchState
 	history  uint64
@@ -249,9 +263,10 @@ func (g *Generator) Spec() Spec { return g.spec }
 // identical to the original.
 func (g *Generator) Rewind() {
 	spec := &g.spec
-	g.rng = rand.New(rand.NewPCG(g.seed, 0x9e3779b97f4a7c15))
+	g.rng.Seed(g.seed, 0x9e3779b97f4a7c15)
 	g.issued = 0
 	g.phase = 0
+	g.phaseLeft = spec.PhasePeriod
 	g.history = 0
 
 	// Lay regions out contiguously with a guard gap so that distinct
@@ -289,17 +304,24 @@ func (g *Generator) Rewind() {
 	if g.codeBlocks < 2 {
 		g.codeBlocks = 2
 	}
+	g.codeMask = -1
+	if g.codeBlocks&(g.codeBlocks-1) == 0 {
+		g.codeMask = g.codeBlocks - 1
+	}
 	g.curBlock = 0
 	g.blockPos = 0
 	g.blockLen = g.nextBlockLen()
 
 	// A fixed population of static branches with deterministic kinds.
 	g.branches = g.branches[:0]
-	nb := 64
-	for i := 0; i < nb; i++ {
+	for i := 0; i < numBranches; i++ {
 		g.branches = append(g.branches, g.makeBranch(i))
 	}
 }
+
+// numBranches is the static branch population; a power of two so the
+// per-branch selection is a mask, not a division.
+const numBranches = 64
 
 // cumulative builds the cumulative weight table; rotation != 0 rotates the
 // weights by one region, providing the alternate phase's mixture.
@@ -347,6 +369,28 @@ func (g *Generator) nextBlockLen() int {
 // and only when the generator was wrapped by a Limiter.
 func (g *Generator) Next(rec *Record) error {
 	rec.Reset()
+	g.gen(rec)
+	return nil
+}
+
+// NextBatch implements BatchReader: it fills every record of recs in one
+// tight loop, amortising the per-record interface dispatch the core
+// timing loop would otherwise pay on each instruction. The records (and
+// the random stream consumed to produce them) are identical to len(recs)
+// successive Next calls. The whole batch is zeroed with one vectorised
+// clear instead of a per-record Reset.
+func (g *Generator) NextBatch(recs []Record) (int, error) {
+	clear(recs)
+	for i := range recs {
+		g.gen(&recs[i])
+	}
+	return len(recs), nil
+}
+
+// gen produces one record into rec, which must be zeroed; it is the
+// single source of truth shared by Next and NextBatch, so the two entry
+// points cannot drift.
+func (g *Generator) gen(rec *Record) {
 	spec := &g.spec
 
 	rec.PC = codeBase + uint64(g.curBlock)*32 + uint64(g.blockPos)*4
@@ -364,25 +408,33 @@ func (g *Generator) Next(rec *Record) error {
 	}
 
 	g.issued++
-	if spec.PhasePeriod != 0 && g.issued%spec.PhasePeriod == 0 {
-		g.phase++
+	if g.phaseLeft != 0 {
+		g.phaseLeft--
+		if g.phaseLeft == 0 {
+			g.phase++
+			g.phaseLeft = spec.PhasePeriod
+		}
 	}
-	return nil
 }
 
 // codeBase keeps instruction addresses far from data regions.
 const codeBase = 0x40000000
 
 func (g *Generator) emitBranch(rec *Record) {
-	bi := g.curBlock % len(g.branches)
+	bi := g.curBlock & (numBranches - 1)
 	b := &g.branches[bi]
 	taken := false
 	switch b.kind {
 	case BiasedBranch:
 		taken = g.rng.Float64() < b.bias
 	case LoopBranch:
-		b.count++
-		taken = b.count%b.period != 0
+		// count cycles 1..period; the branch falls through exactly once
+		// per period (same stream as the former count%period test).
+		if b.count++; b.count == b.period {
+			b.count = 0
+		} else {
+			taken = true
+		}
 	case CorrelatedBranch:
 		taken = (g.history>>b.histK)&1 == 1
 	}
@@ -393,9 +445,16 @@ func (g *Generator) emitBranch(rec *Record) {
 	if taken {
 		// Jump to a deterministic successor block derived from the
 		// branch's own state, keeping the code footprint stable.
-		g.curBlock = (g.curBlock*7 + 3 + int(b2u(taken))) % g.codeBlocks
+		next := g.curBlock*7 + 3 + int(b2u(taken))
+		if g.codeMask >= 0 {
+			g.curBlock = next & g.codeMask
+		} else {
+			g.curBlock = next % g.codeBlocks
+		}
 	} else {
-		g.curBlock = (g.curBlock + 1) % g.codeBlocks
+		if g.curBlock++; g.curBlock == g.codeBlocks {
+			g.curBlock = 0
+		}
 	}
 	rec.Target = codeBase + uint64(g.curBlock)*32
 	g.blockPos = 0
@@ -451,17 +510,23 @@ func (g *Generator) pickRegion() int {
 // the access is dependent (pointer chase).
 func (g *Generator) nextAddr(ri int) (addr uint64, dependent bool) {
 	rs := &g.regions[ri]
-	spec := g.spec.Regions[ri]
+	spec := &g.spec.Regions[ri]
 	switch spec.Pattern {
 	case Sequential:
-		rs.cursor = (rs.cursor + 8) % rs.size
+		// The cursor wraps at most once per step, so the modulo only
+		// runs on the wrapping step (strides can exceed the region).
+		if rs.cursor += 8; rs.cursor >= rs.size {
+			rs.cursor %= rs.size
+		}
 		return rs.base + rs.cursor, false
 	case Strided:
 		stride := spec.Stride
 		if stride == 0 {
 			stride = blockBytes
 		}
-		rs.cursor = (rs.cursor + stride) % rs.size
+		if rs.cursor += stride; rs.cursor >= rs.size {
+			rs.cursor %= rs.size
+		}
 		return rs.base + rs.cursor, false
 	case Random:
 		off := uint64(g.rng.Int64N(int64(rs.size/8))) * 8
@@ -499,6 +564,40 @@ func (l *Limiter) Next(rec *Record) error {
 	}
 	l.seen++
 	return nil
+}
+
+// NextBatch implements BatchReader. It delegates to the wrapped reader's
+// NextBatch when available and otherwise loops Next, clamping the batch
+// to the records remaining before the limit.
+func (l *Limiter) NextBatch(recs []Record) (int, error) {
+	if l.seen >= l.N {
+		return 0, io.EOF
+	}
+	if rem := l.N - l.seen; uint64(len(recs)) > rem {
+		recs = recs[:rem]
+	}
+	if br, ok := l.R.(BatchReader); ok {
+		n, err := br.NextBatch(recs)
+		l.seen += uint64(n)
+		if n > 0 {
+			// Defer any error to the next call (contract: n > 0 implies
+			// a nil error); the wrapped reader will return it again.
+			return n, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for i := range recs {
+		if err := l.R.Next(&recs[i]); err != nil {
+			if n == 0 {
+				return 0, err
+			}
+			break
+		}
+		n++
+	}
+	l.seen += uint64(n)
+	return n, nil
 }
 
 // Rewind implements Rewinder.

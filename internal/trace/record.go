@@ -69,6 +69,22 @@ type Rewinder interface {
 	Rewind()
 }
 
+// BatchReader is implemented by readers that can fill many records per
+// call. The core timing loop pulls records through this interface when
+// available, amortising one dynamic dispatch over the whole batch — the
+// hottest call edge in the simulator.
+//
+// NextBatch fills recs[:n] and returns n. The contract is strict so
+// drivers stay branch-light: either n > 0 and the error is nil (a
+// partial batch is allowed; any underlying error is deferred to the next
+// call), or n == 0 and the error is non-nil (io.EOF at end of stream).
+// A batched and a record-at-a-time traversal of the same reader yield
+// identical record sequences.
+type BatchReader interface {
+	Reader
+	NextBatch(recs []Record) (int, error)
+}
+
 // ErrCorrupt is returned by the file reader when a trace file fails
 // structural validation.
 var ErrCorrupt = errors.New("trace: corrupt trace file")

@@ -1,6 +1,8 @@
 # Build/test entry points. `make ci` is the gate every PR must pass:
-# formatting, vet, a full build, the full test suite, and a race-checked
-# run of the concurrent execution stack (internal/sim + internal/runner).
+# formatting, vet, a full build, the full test suite (which includes the
+# telemetry-enabled golden determinism check and the AllocsPerRun == 0
+# collector guard), and a race-checked run of the concurrent execution
+# stack (internal/sim + internal/runner + internal/telemetry).
 
 GO ?= go
 
@@ -30,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/runner/...
+	$(GO) test -race ./internal/sim/... ./internal/runner/... ./internal/telemetry/...
 
 # One pass over every benchmark as a compile-and-run smoke; keeps the
 # hot-path benchmarks building and non-panicking without the cost of a

@@ -26,6 +26,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		list      = flag.Bool("list", false, "list benchmark presets and exit")
 		samples   = flag.Bool("samples", false, "print per-interval samples")
+		telem     = flag.Uint64("telemetry", 0, "collect telemetry every N instructions and print the interval series plus P_Induce audit (0 = off)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
 		retries   = flag.Int("retries", 0, "retries if the run panics or times out (seed is perturbed)")
 		resume    = flag.String("resume", "", "JSONL journal path: recall the run if journaled, checkpoint it otherwise")
@@ -68,14 +70,15 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		Workload:     *workload,
-		Adversary:    *adversary,
-		PInduce:      *pinduce,
-		Branch:       *predictor,
-		WarmupInstrs: *warmup,
-		ROIInstrs:    *roi,
-		SampleEvery:  *sample,
-		Seed:         *seed,
+		Workload:       *workload,
+		Adversary:      *adversary,
+		PInduce:        *pinduce,
+		Branch:         *predictor,
+		WarmupInstrs:   *warmup,
+		ROIInstrs:      *roi,
+		SampleEvery:    *sample,
+		TelemetryEvery: *telem,
+		Seed:           *seed,
 	}
 	switch *mode {
 	case "isolation":
@@ -122,12 +125,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(out.Failures) > 0 {
-		f := out.Failures[0]
+	if hard := out.HardFailures(); len(hard) > 0 {
+		f := hard[0]
 		if f.Stack != "" {
 			log.Printf("run panicked; recovered stack:\n%s", f.Stack)
 		}
 		log.Fatal(f)
+	}
+	// A journal-only failure still produced a result; report it below
+	// after warning that the checkpoint was lost.
+	for _, f := range out.JournalFailures() {
+		log.Printf("warning: %v (result shown below was not checkpointed)", f)
 	}
 	res := out.Results[0]
 	if out.FromJournal > 0 {
@@ -155,6 +163,29 @@ func main() {
 			fmt.Printf("%9d  %6.3f  %5.1f%%  %6.1f  %5.1f%%  %5.1f%%  %4.1f%%\n",
 				s.Instrs, s.IPC, 100*s.MissRate, s.AMAT,
 				100*s.InterferenceRate, 100*s.TheftRate, 100*s.OccupancyFrac)
+		}
+	}
+
+	if res.Telemetry != nil {
+		fmt.Printf("\ntelemetry (every %d instrs)\n", res.Telemetry.Every)
+		fmt.Println("end_instrs     IPC   L1D-MPKI  L2-MPKI  LLC-MPKI   occ    eng-acc  trig   rate")
+		for _, iv := range res.Telemetry.Intervals {
+			fmt.Printf("%10d  %6.3f  %8.2f  %7.2f  %8.2f  %4.1f%%  %8d  %5d  %.3f\n",
+				iv.EndInstrs, iv.IPC, iv.L1DMPKI, iv.L2MPKI, iv.LLCMPKI,
+				100*iv.LLCOccupancyFrac, iv.EngineAccesses, iv.EngineTriggers,
+				iv.TriggerRate())
+		}
+		if res.Engine != nil {
+			acc, trig := res.Telemetry.TriggerTotals()
+			aud := telemetry.NewAudit(cfg.PInduce, acc, trig, res.Telemetry)
+			verdict := "CALIBRATED"
+			if !aud.Calibrated {
+				verdict = "OUT OF TOLERANCE"
+			}
+			fmt.Printf("\nP_Induce audit  configured %.4f, realized %.5f over %d accesses "+
+				"(err %+.5f, z=%.2f, interval range [%.4f, %.4f]) — %s\n",
+				aud.Configured, aud.Realized, aud.Accesses, aud.Error, aud.Z,
+				aud.MinIntervalRate, aud.MaxIntervalRate, verdict)
 		}
 	}
 }

@@ -9,11 +9,16 @@
 // completed run is checkpointed to a JSONL journal and an interrupted
 // sweep picks up where it left off, re-running only the missing configs.
 //
+// With -progress the campaign logs periodic heartbeats (completed,
+// failed, run rate, ETA) to stderr; the same live snapshot is served as
+// expvar "pinte.campaign" under -debug's /debug/vars endpoint.
+//
 // Usage:
 //
 //	pintesweep -workloads 450.soplex,433.milc
 //	pintesweep -workloads all -points 0.01,0.1,0.5 > sweep.csv
 //	pintesweep -workloads all -resume sweep.journal -timeout 5m > sweep.csv
+//	pintesweep -workloads all -progress -debug localhost:6060 > sweep.csv
 package main
 
 import (
@@ -50,6 +55,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited)")
 		retries   = flag.Int("retries", 0, "retries for runs that panic or time out (seed is perturbed)")
 		resume    = flag.String("resume", "", "JSONL journal path: checkpoint completed runs and skip them on restart")
+		progress  = flag.Bool("progress", false, "log periodic campaign heartbeats (completed/failed/rate/ETA) to stderr")
+		progEvery = flag.Duration("progress-every", 2*time.Second, "heartbeat period when -progress is set")
 	)
 	profOpts := prof.Flags(nil)
 	flag.Parse()
@@ -94,12 +101,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	heartbeat := time.Duration(0)
+	if *progress {
+		heartbeat = *progEvery
+	}
 	orc := runner.New(runner.Options{
-		Workers: *workers,
-		Timeout: *timeout,
-		Retries: *retries,
-		Journal: *resume,
-		Logf:    log.Printf,
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Journal:  *resume,
+		Logf:     log.Printf,
+		Progress: heartbeat,
 	})
 	stopProf, err := profOpts.Start()
 	if err != nil {
@@ -126,6 +138,7 @@ func main() {
 	if err := cw.Write([]string{
 		"workload", "p_induce", "contention_rate", "ipc", "weighted_ipc",
 		"llc_miss_rate", "amat", "occupancy_frac",
+		"realized_p_induce", "p_induce_err",
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -142,6 +155,13 @@ func main() {
 			if isoIPC[w] > 0 {
 				wipc = r.IPC / isoIPC[w]
 			}
+			// P_Induce audit columns: what the engine actually rolled
+			// versus what the config asked for.
+			realized, perr := 0.0, 0.0
+			if r.Engine != nil {
+				realized = r.Engine.TriggerRate()
+				perr = realized - p
+			}
 			rec := []string{
 				w,
 				fmt.Sprintf("%.4f", p),
@@ -151,6 +171,8 @@ func main() {
 				fmt.Sprintf("%.5f", r.MissRate),
 				fmt.Sprintf("%.3f", r.AMAT),
 				fmt.Sprintf("%.4f", r.OccupancyFrac),
+				fmt.Sprintf("%.5f", realized),
+				fmt.Sprintf("%+.5f", perr),
 			}
 			if err := cw.Write(rec); err != nil {
 				log.Fatal(err)
@@ -163,11 +185,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if len(out.Failures) > 0 {
+	// Journal-only failures kept their results (rows above are complete);
+	// warn but don't fail the sweep. Hard failures cost rows: exit 1.
+	if jf := out.JournalFailures(); len(jf) > 0 {
+		log.Printf("warning: %d results were computed but could not be journaled; "+
+			"the CSV is complete but -resume would re-run them", len(jf))
+		for _, f := range jf {
+			log.Printf("  %v", f)
+		}
+	}
+	if hard := out.HardFailures(); len(hard) > 0 {
 		log.Printf("%d of %d runs failed (%d rows emitted, %d resumed from journal, wall %s):",
-			len(out.Failures), len(cfgs), emitted, out.FromJournal,
+			len(hard), len(cfgs), emitted, out.FromJournal,
 			time.Since(start).Round(time.Millisecond))
-		for _, f := range out.Failures {
+		for _, f := range hard {
 			log.Printf("  %v", f)
 		}
 		if *resume != "" {

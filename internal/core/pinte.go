@@ -149,6 +149,12 @@ func (e *Engine) Params() Params { return e.params }
 
 var _ cache.Injector = (*Engine)(nil)
 
+// triggerFires reports whether a uniform draw in [0, 1) fires induction
+// at probability p: strictly draw < p, so the endpoints are exact —
+// p = 0 never fires (even on an exact-zero draw) and p = 1 always does
+// (every draw is below 1).
+func triggerFires(draw, p float64) bool { return draw < p }
+
 // OnLLCAccess implements cache.Injector: it runs the Fig 4 state machine
 // once for the accessed set. requester is the accessing core (unused by
 // the flow itself — the system acts as the adversary for every core —
@@ -168,8 +174,10 @@ func (e *Engine) OnLLCAccess(c *cache.Cache, set, requester int) {
 		switch state {
 		case StateGenProbability:
 			// Eq 2: trigger ratio = random / max-random, i.e. a
-			// uniform draw in [0, 1).
-			if e.rng.Float64() > e.params.PInduce {
+			// uniform draw in [0, 1). The comparison must be strict:
+			// a non-strict one lets an exact-zero draw trigger at
+			// P_Induce = 0, which has to provably never inject.
+			if !triggerFires(e.rng.Float64(), e.params.PInduce) {
 				state = StateExit
 				break
 			}

@@ -54,6 +54,33 @@ func TestTriggerRateTracksPInduce(t *testing.T) {
 	}
 }
 
+// TestTriggerFiresEndpoints pins the trigger comparison at both
+// endpoints of the probability range. The regression it guards: a
+// non-strict comparison (draw > p exits, so draw <= p fires) lets an
+// exact-zero draw inject a theft even when P_Induce = 0, breaking the
+// invariant that a zero-probability engine is bit-identical to no
+// engine at all.
+func TestTriggerFiresEndpoints(t *testing.T) {
+	almostOne := math.Nextafter(1, 0)
+	cases := []struct {
+		draw, p float64
+		want    bool
+	}{
+		{0, 0, false},         // the off-by-epsilon this fixes
+		{almostOne, 0, false}, // P_Induce = 0 never fires
+		{0, 1, true},          // P_Induce = 1 always fires...
+		{almostOne, 1, true},  // ...for every draw in [0, 1)
+		{0.29, 0.3, true},
+		{0.3, 0.3, false}, // a draw equal to p sits outside [0, p)
+		{0.31, 0.3, false},
+	}
+	for _, c := range cases {
+		if got := triggerFires(c.draw, c.p); got != c.want {
+			t.Errorf("triggerFires(%v, %v) = %v, want %v", c.draw, c.p, got, c.want)
+		}
+	}
+}
+
 func TestZeroPInduceIsInert(t *testing.T) {
 	c := demoCache(t, 16, 8, "lru")
 	e := MustNewEngine(Params{PInduce: 0, Seed: 1})

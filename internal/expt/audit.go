@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// AuditRow is one (workload, P_Induce) point of the calibration audit:
+// the realized trigger rate the engine actually rolled, judged against
+// the configured probability with a binomial tolerance.
+type AuditRow struct {
+	Workload string
+	PInduce  float64
+	Audit    telemetry.Audit
+}
+
+// AuditResult is the full calibration audit across the scale's
+// workloads and sweep points (with P_Induce = 0 prepended so the
+// never-inject endpoint is always checked).
+type AuditResult struct {
+	Rows []AuditRow
+	// AllCalibrated is true when every point passed its tolerance —
+	// endpoints exactly, interior points within AuditZTolerance
+	// standard errors.
+	AllCalibrated bool
+}
+
+// auditPoints returns the sweep grid with the P_Induce = 0 endpoint
+// prepended (unless the scale already sweeps it).
+func auditPoints(s Scale) []float64 {
+	points := []float64{0}
+	for _, p := range s.Sweep {
+		if p != 0 {
+			points = append(points, p)
+		}
+	}
+	return points
+}
+
+// PInduceAudit verifies the engine's induction probability end to end:
+// for every scale workload and sweep point it runs the simulator with
+// telemetry enabled and compares the realized trigger rate (triggers
+// per engine access, from the telemetry counters) to the configured
+// P_Induce. The P_Induce = 0 rows must show exactly zero triggers —
+// the regression the strict trigger comparison guards — and interior
+// points must land within the binomial tolerance.
+func PInduceAudit(r *Runner) (*AuditResult, *report.Table, error) {
+	points := auditPoints(r.Scale)
+	var cfgs []sim.Config
+	for _, w := range r.Scale.Workloads {
+		for _, p := range points {
+			cfg := r.Pinte(w, p)
+			cfg.TelemetryEvery = r.Scale.SampleEvery
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := r.GetAll(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &AuditResult{AllCalibrated: true}
+	tbl := &report.Table{
+		ID:    "audit",
+		Title: "P_Induce calibration audit: realized vs configured trigger rate",
+		Columns: []string{"Benchmark", "P_Induce", "accesses", "triggers",
+			"realized", "err", "z", "intvl min", "intvl max", "verdict"},
+	}
+	i := 0
+	for _, w := range r.Scale.Workloads {
+		for _, p := range points {
+			out := results[i]
+			i++
+			var acc, trig uint64
+			if out.Engine != nil {
+				acc, trig = out.Engine.Accesses, out.Engine.Triggers
+			}
+			aud := telemetry.NewAudit(p, acc, trig, out.Telemetry)
+			res.Rows = append(res.Rows, AuditRow{Workload: w, PInduce: p, Audit: aud})
+			if !aud.Calibrated {
+				res.AllCalibrated = false
+			}
+			verdict := "ok"
+			if !aud.Calibrated {
+				verdict = "MISCALIBRATED"
+			}
+			tbl.AddRow(w,
+				fmt.Sprintf("%.3f", p),
+				fmt.Sprintf("%d", acc),
+				fmt.Sprintf("%d", trig),
+				fmt.Sprintf("%.5f", aud.Realized),
+				fmt.Sprintf("%+.5f", aud.Error),
+				fmt.Sprintf("%+.2f", aud.Z),
+				fmt.Sprintf("%.4f", aud.MinIntervalRate),
+				fmt.Sprintf("%.4f", aud.MaxIntervalRate),
+				verdict)
+		}
+	}
+	return res, tbl, nil
+}

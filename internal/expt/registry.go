@@ -74,6 +74,13 @@ var registry = map[string]Generator{
 		_, t, err := Capacity(r)
 		return one(t), err
 	},
+	// audit is not a paper artifact: it cross-checks the engine's
+	// realized trigger rate against the configured P_Induce at every
+	// sweep point (plus the p=0 endpoint) using the telemetry counters.
+	"audit": func(r *Runner) ([]*report.Table, error) {
+		_, t, err := PInduceAudit(r)
+		return one(t), err
+	},
 	// partitioning is not a paper artifact: it evaluates the
 	// contention-aware designs (§VII-d) — UCP vs CASHT-style
 	// theft-guided LLC partitioning — on this substrate.

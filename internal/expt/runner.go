@@ -50,9 +50,9 @@ func (r *Runner) key(cfg sim.Config) string {
 	if cfg.WorkloadSpec != nil || cfg.AdversarySpec != nil {
 		ad = fmt.Sprintf("|adhoc:%p/%p", cfg.WorkloadSpec, cfg.AdversarySpec)
 	}
-	return fmt.Sprintf("m%d|w%s|a%s+%v|p%.6f|s%d.%d|%d/%d/%d|b%s|h%+v|d%s|x%d.%.4f.%d.%d|pt%s.%d%s",
+	return fmt.Sprintf("m%d|w%s|a%s+%v|p%.6f|s%d.%d|%d/%d/%d.%d|b%s|h%+v|d%s|x%d.%.4f.%d.%d|pt%s.%d%s",
 		cfg.Mode, cfg.Workload, cfg.Adversary, cfg.Adversaries, cfg.PInduce, cfg.Seed, cfg.EngineSeed,
-		cfg.WarmupInstrs, cfg.ROIInstrs, cfg.SampleEvery,
+		cfg.WarmupInstrs, cfg.ROIInstrs, cfg.SampleEvery, cfg.TelemetryEvery,
 		cfg.Branch, cfg.Hier, dram,
 		cfg.IndependentPeriod, cfg.DRAMContentionProb, cfg.DRAMContentionPenalty,
 		cfg.LLCWayAllocation, cfg.Partitioning, cfg.ReallocEvery, ad)

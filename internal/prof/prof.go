@@ -1,19 +1,27 @@
 // Package prof wires the standard Go profilers into a command line.
 //
-// Both simulator binaries expose the same three flags (-cpuprofile,
-// -memprofile, -trace); Flags registers them and Start arms whichever
-// were set, returning a stop function the caller defers. The outputs
-// load directly into `go tool pprof` / `go tool trace`, which is how
-// the hot-path numbers in DESIGN.md were gathered.
+// The simulator binaries expose the same flags (-cpuprofile,
+// -memprofile, -trace, -debug); Flags registers them and Start arms
+// whichever were set, returning a stop function the caller defers. The
+// profile outputs load directly into `go tool pprof` / `go tool trace`,
+// which is how the hot-path numbers in DESIGN.md were gathered; -debug
+// serves the live expvar page (including the campaign progress
+// published by internal/runner via internal/telemetry) and the pprof
+// HTTP endpoints for poking at a run while it is still going.
 package prof
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+
+	_ "expvar"         // registers /debug/vars on the default mux
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 )
 
 // Options names the profile outputs. Empty fields are disabled.
@@ -21,10 +29,16 @@ type Options struct {
 	CPUProfile string // pprof CPU profile path
 	MemProfile string // pprof heap profile path (written at stop)
 	Trace      string // runtime execution trace path
+	// DebugAddr, when non-empty, serves the process debug endpoints —
+	// /debug/vars (expvar, including the "pinte.campaign" live progress
+	// snapshot) and /debug/pprof — on this address for the lifetime of
+	// the run.
+	DebugAddr string
 }
 
-// Flags registers -cpuprofile, -memprofile and -trace on fs (the
-// default flag set when fs is nil) and returns the Options they fill.
+// Flags registers -cpuprofile, -memprofile, -trace and -debug on fs
+// (the default flag set when fs is nil) and returns the Options they
+// fill.
 func Flags(fs *flag.FlagSet) *Options {
 	if fs == nil {
 		fs = flag.CommandLine
@@ -33,6 +47,8 @@ func Flags(fs *flag.FlagSet) *Options {
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	fs.StringVar(&o.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&o.DebugAddr, "debug", "",
+		"serve /debug/vars (live campaign progress) and /debug/pprof on this address, e.g. localhost:6060")
 	return o
 }
 
@@ -52,6 +68,19 @@ func (o *Options) Start() (stop func() error, err error) {
 		return nil, err
 	}
 
+	if o.DebugAddr != "" {
+		// Listen synchronously so a bad address fails the command up
+		// front; serve in the background until stop.
+		ln, err := net.Listen("tcp", o.DebugAddr)
+		if err != nil {
+			return fail(fmt.Errorf("debug endpoint: %w", err))
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(ln) //nolint:errcheck // closed by stop below
+		stops = append(stops, func() error {
+			return srv.Close()
+		})
+	}
 	if o.CPUProfile != "" {
 		f, err := os.Create(o.CPUProfile)
 		if err != nil {

@@ -49,52 +49,84 @@ type Journal struct {
 // histograms is tens of KB; 64MB leaves three orders of magnitude).
 const maxEntryBytes = 64 << 20
 
+// LoadStats summarises one journal scan so resumes can report exactly
+// what they recovered and what they dropped.
+type LoadStats struct {
+	// Entries counts intact entries loaded.
+	Entries int
+	// Skipped counts unusable non-final lines — mid-file corruption
+	// (bit rot, a concurrent writer, manual editing) — that were
+	// dropped while the scan continued.
+	Skipped int
+	// TruncatedTail reports a benign final-line truncation: the one
+	// corruption shape a crash mid-append legitimately produces.
+	TruncatedTail bool
+}
+
 // LoadJournal reads a journal into a key → result map. A missing file
-// yields an empty map. Corrupt or truncated lines (a crash mid-append)
-// end the scan at the last intact entry rather than failing the resume.
-func LoadJournal(path string) (map[string]*sim.Result, error) {
+// yields an empty map. Only a truncated final line (a crash mid-append)
+// is benign; a corrupt line anywhere else is skipped — and counted in
+// the returned LoadStats — while every intact entry after it is still
+// recovered, so one damaged line never silently discards the rest of a
+// campaign's completed work.
+func LoadJournal(path string) (map[string]*sim.Result, LoadStats, error) {
 	done := make(map[string]*sim.Result)
+	var st LoadStats
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return done, nil
+		return done, st, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64<<10), maxEntryBytes)
+	// lastBad tracks whether the most recent line failed to parse; if
+	// the scan ends there, that failure is reclassified as a benign
+	// tail truncation instead of a corrupt entry.
+	lastBad := false
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		lastBad = false
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			break
+			st.Skipped++
+			lastBad = true
+			continue
 		}
-		if e.Key != "" && e.Result != nil {
-			done[e.Key] = e.Result
+		if e.Key == "" || e.Result == nil {
+			st.Skipped++
+			continue
 		}
+		done[e.Key] = e.Result
+		st.Entries++
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
-		return nil, err
+		return nil, st, err
 	}
-	return done, nil
+	if lastBad {
+		st.Skipped--
+		st.TruncatedTail = true
+	}
+	return done, st, nil
 }
 
 // OpenJournal loads path's existing entries and opens it for appending,
 // creating it if absent.
-func OpenJournal(path string) (*Journal, map[string]*sim.Result, error) {
-	done, err := LoadJournal(path)
+func OpenJournal(path string) (*Journal, map[string]*sim.Result, LoadStats, error) {
+	done, st, err := LoadJournal(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, st, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, st, err
 	}
-	return &Journal{f: f, w: bufio.NewWriterSize(f, 256<<10)}, done, nil
+	return &Journal{f: f, w: bufio.NewWriterSize(f, 256<<10)}, done, st, nil
 }
 
 // Append records one completed result and flushes the line.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options tunes an Orchestrator. The zero value runs with GOMAXPROCS
@@ -50,6 +51,12 @@ type Options struct {
 	// Logf receives progress and failure lines (log.Printf-shaped);
 	// nil means silent.
 	Logf func(format string, args ...any)
+	// Progress, when positive, emits a live heartbeat snapshot
+	// (completed/failed/retried runs, runs/sec, ETA, journal state)
+	// through Logf on this period. Independent of the period, every
+	// campaign publishes its progress on expvar ("pinte.campaign",
+	// served by the prof package's -debug endpoint).
+	Progress time.Duration
 }
 
 // RunError describes one failed run of a campaign.
@@ -69,11 +76,21 @@ type RunError struct {
 	// WallTime spans all attempts; Attempts counts them.
 	WallTime time.Duration
 	Attempts int
+	// JournalOnly marks a failure where the simulation itself
+	// succeeded — its result is present in Outcome.Results — but the
+	// checkpoint append to the resume journal was lost. Callers should
+	// treat these as warnings about journal completeness, not as
+	// failed runs.
+	JournalOnly bool
 }
 
 func (e *RunError) Error() string {
-	return fmt.Sprintf("run %d (%s %s p=%g seed=%d): %v [attempts=%d wall=%s]",
-		e.Index, e.Config.Mode, e.Config.Workload, e.Config.PInduce,
+	kind := "run"
+	if e.JournalOnly {
+		kind = "journal-only failure for run"
+	}
+	return fmt.Sprintf("%s %d (%s %s p=%g seed=%d): %v [attempts=%d wall=%s]",
+		kind, e.Index, e.Config.Mode, e.Config.Workload, e.Config.PInduce,
 		e.Config.Seed, e.Err, e.Attempts, e.WallTime.Round(time.Millisecond))
 }
 
@@ -104,6 +121,32 @@ func (o *Outcome) Err() error {
 		errs[i] = f
 	}
 	return errors.Join(errs...)
+}
+
+// HardFailures returns the failures whose runs actually produced no
+// result, excluding journal-only failures (result kept, checkpoint
+// lost). Exit-code logic should key off this list: a campaign whose
+// every run completed is not a failed campaign just because a journal
+// write was.
+func (o *Outcome) HardFailures() []*RunError {
+	var hard []*RunError
+	for _, f := range o.Failures {
+		if !f.JournalOnly {
+			hard = append(hard, f)
+		}
+	}
+	return hard
+}
+
+// JournalFailures returns the journal-only failures.
+func (o *Outcome) JournalFailures() []*RunError {
+	var jf []*RunError
+	for _, f := range o.Failures {
+		if f.JournalOnly {
+			jf = append(jf, f)
+		}
+	}
+	return jf
 }
 
 // Orchestrator executes campaigns under one Options set. Safe for use
@@ -160,11 +203,18 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		keys[i] = k
 	}
 
+	prog := telemetry.NewProgress(len(cfgs), time.Now())
+	prog.Publish()
+	for range out.Failures {
+		prog.RunFailed() // unhashable configs counted up front
+	}
+
 	var journal *Journal
 	if o.opts.Journal != "" {
 		var done map[string]*sim.Result
+		var jst LoadStats
 		var err error
-		journal, done, err = OpenJournal(o.opts.Journal)
+		journal, done, jst, err = OpenJournal(o.opts.Journal)
 		if err != nil {
 			return nil, err
 		}
@@ -175,9 +225,18 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 				out.FromJournal++
 			}
 		}
-		if out.FromJournal > 0 {
-			o.logf("resume: %d of %d runs already journaled in %s",
+		prog.FromJournal(out.FromJournal)
+		prog.JournalSkipped(jst.Skipped)
+		if out.FromJournal > 0 || jst.Skipped > 0 {
+			line := fmt.Sprintf("resume: %d of %d runs already journaled in %s",
 				out.FromJournal, len(cfgs), o.opts.Journal)
+			if jst.Skipped > 0 {
+				line += fmt.Sprintf(" (%d corrupt journal lines skipped; their runs re-execute)", jst.Skipped)
+			}
+			if jst.TruncatedTail {
+				line += " (truncated final line from an interrupted append dropped)"
+			}
+			o.logf("%s", line)
 		}
 	}
 
@@ -186,6 +245,26 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		if out.Results[i] == nil && keys[i] != "" {
 			pending = append(pending, i)
 		}
+	}
+
+	// Heartbeats: a ticker goroutine snapshots the live progress and
+	// pushes one line per period through Logf, plus a final line when
+	// the campaign drains.
+	var heartbeatDone chan struct{}
+	if o.opts.Progress > 0 && o.opts.Logf != nil {
+		heartbeatDone = make(chan struct{})
+		go func() {
+			t := time.NewTicker(o.opts.Progress)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					o.logf("%s", prog.Snapshot(time.Now()))
+				case <-heartbeatDone:
+					return
+				}
+			}
+		}()
 	}
 
 	workers := o.opts.Workers
@@ -202,21 +281,30 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, rerr := o.runOne(ctx, i, cfgs[i], keys[i])
+				res, attempts, rerr := o.runOne(ctx, i, cfgs[i], keys[i], prog)
 				mu.Lock()
 				out.Ran++
 				if rerr != nil {
 					out.Failures = append(out.Failures, rerr)
 					mu.Unlock()
+					prog.RunFailed()
 					continue
 				}
 				out.Results[i] = res
 				mu.Unlock()
+				prog.RunCompleted()
 				if journal != nil {
 					if err := journal.Append(keys[i], res); err != nil {
+						// The run itself succeeded and its result is
+						// kept in Results[i]; only the checkpoint was
+						// lost. Record it as a journal-only failure
+						// with the real attempt count so exit-code
+						// logic and reports stay truthful.
+						prog.JournalError()
 						mu.Lock()
 						out.Failures = append(out.Failures, &RunError{
-							Index: i, Config: cfgs[i], Key: keys[i], Attempts: 1,
+							Index: i, Config: cfgs[i], Key: keys[i],
+							Attempts: attempts, JournalOnly: true,
 							Err: fmt.Errorf("journaling result: %w", err),
 						})
 						mu.Unlock()
@@ -242,6 +330,11 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		out.Failures = append(out.Failures, &RunError{
 			Index: i, Config: cfgs[i], Key: keys[i], Err: sim.ErrCanceled,
 		})
+		prog.RunFailed()
+	}
+	if heartbeatDone != nil {
+		close(heartbeatDone)
+		o.logf("%s", prog.Snapshot(time.Now()))
 	}
 	sort.Slice(out.Failures, func(a, b int) bool {
 		return out.Failures[a].Index < out.Failures[b].Index
@@ -250,8 +343,10 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 }
 
 // runOne executes one config with the per-run deadline, panic capture
-// and bounded seed-perturbation retry policy applied.
-func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, key string) (*sim.Result, *RunError) {
+// and bounded seed-perturbation retry policy applied. It returns the
+// attempt count alongside the result so journal-only failures can
+// carry it.
+func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, key string, prog *telemetry.Progress) (*sim.Result, int, *RunError) {
 	runFn := o.run
 	if runFn == nil {
 		runFn = sim.RunContext
@@ -263,6 +358,7 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		c := cfg
 		c.Seed = PerturbSeed(cfg.Seed, attempts)
 		if attempts > 0 {
+			prog.Retried()
 			o.logf("retry %d/%d for run %d (%s %s): %v; perturbed seed %d",
 				attempts, o.opts.Retries, index, cfg.Mode, cfg.Workload, err, c.Seed)
 		}
@@ -277,7 +373,7 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		res, err = safeCall(runFn, rctx, c)
 		cancel()
 		if err == nil {
-			return res, nil
+			return res, attempts, nil
 		}
 		// Whole-campaign cancellation masquerades as a per-run error;
 		// never retry it, and report it under its own sentinel.
@@ -297,7 +393,7 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 	if errors.As(err, &pe) {
 		re.Stack = string(pe.Stack)
 	}
-	return nil, re
+	return nil, attempts, re
 }
 
 // safeCall runs one attempt with panic isolation: a crash inside the

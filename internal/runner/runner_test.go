@@ -1,12 +1,15 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -238,7 +241,7 @@ func TestConfigKeyNormalizationAndSensitivity(t *testing.T) {
 func TestLoadJournalToleratesTruncation(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "sweep.journal")
-	j, _, err := OpenJournal(path)
+	j, _, _, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,12 +268,158 @@ func TestLoadJournalToleratesTruncation(t *testing.T) {
 	}
 	f.Close()
 
-	done, err := LoadJournal(path)
+	done, st, err := LoadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(done) != 2 {
 		t.Fatalf("got %d intact entries, want 2", len(done))
+	}
+	if !st.TruncatedTail || st.Skipped != 0 || st.Entries != 2 {
+		t.Fatalf("truncated tail misclassified: %+v", st)
+	}
+}
+
+// TestLoadJournalSkipsMidFileCorruption is the counterpart regression:
+// a corrupt line in the MIDDLE of the journal (bit rot, a concurrent
+// writer, hand editing) previously ended the scan and silently
+// discarded every intact entry after it, forcing a resume to redo —
+// and double-append — completed work. The scan must instead skip the
+// damaged line, count it, and keep every later entry.
+func TestLoadJournalSkipsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.journal")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		cfg := tinyCfg(fmt.Sprintf("w%d", i), 0.1)
+		keys[i], err = ConfigKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(keys[i], &sim.Result{Config: cfg, IPC: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the middle line in place.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	lines[1] = []byte(`{"key":"mid","result":{"IPC":2.#corrupt#`)
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done, st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("got %d intact entries, want 2 (corruption must not end the scan)", len(done))
+	}
+	for _, k := range []string{keys[0], keys[2]} {
+		if done[k] == nil {
+			t.Fatalf("intact entry %s lost", k)
+		}
+	}
+	if st.Skipped != 1 || st.TruncatedTail {
+		t.Fatalf("mid-file corruption misclassified: %+v", st)
+	}
+}
+
+// TestJournalOnlyFailure pins the journal-append failure semantics: the
+// simulation succeeded, so its result must stay in Results, the failure
+// must carry the REAL attempt count (not a hardcoded 1) and be marked
+// journal-only, and HardFailures must stay empty so exit-code logic
+// doesn't report a completed campaign as failed.
+func TestJournalOnlyFailure(t *testing.T) {
+	dir := t.TempDir()
+	o := New(Options{Journal: filepath.Join(dir, "j.journal"), Retries: 2})
+	calls := 0
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		calls++
+		if calls == 1 {
+			panic("transient") // consume one retry so Attempts ends at 2
+		}
+		// NaN is not JSON-marshalable, so the journal append of this
+		// otherwise-successful result is guaranteed to fail.
+		return &sim.Result{Config: cfg, IPC: math.NaN()}, nil
+	}
+	out, err := o.RunAll(context.Background(), []sim.Config{tinyCfg("433.milc", 0.1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0] == nil {
+		t.Fatal("successful run's result was dropped on journal failure")
+	}
+	if len(out.Failures) != 1 {
+		t.Fatalf("got %d failures, want 1", len(out.Failures))
+	}
+	f := out.Failures[0]
+	if !f.JournalOnly {
+		t.Fatalf("journal failure not marked JournalOnly: %v", f)
+	}
+	if f.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want the real count 2", f.Attempts)
+	}
+	if !strings.Contains(f.Error(), "journal-only") {
+		t.Fatalf("failure message hides journal-only nature: %v", f)
+	}
+	if hard := out.HardFailures(); len(hard) != 0 {
+		t.Fatalf("journal-only failure leaked into HardFailures: %v", hard)
+	}
+	if jf := out.JournalFailures(); len(jf) != 1 {
+		t.Fatalf("JournalFailures = %d, want 1", len(jf))
+	}
+}
+
+// TestProgressHeartbeat checks the live campaign telemetry: with a
+// heartbeat period set, RunAll emits progress lines through Logf and
+// always closes with a final complete snapshot.
+func TestProgressHeartbeat(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	o := New(Options{
+		Workers:  2,
+		Progress: 5 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		time.Sleep(10 * time.Millisecond)
+		return &sim.Result{Config: cfg}, nil
+	}
+	cfgs := []sim.Config{
+		tinyCfg("433.milc", 0.1), tinyCfg("433.milc", 0.2),
+		tinyCfg("433.milc", 0.3), tinyCfg("433.milc", 0.4),
+	}
+	out, err := o.RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err() != nil {
+		t.Fatal(out.Err())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no heartbeat lines emitted")
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "progress: 4/4 done, 0 failed") {
+		t.Fatalf("final heartbeat %q does not report the drained campaign", last)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -103,6 +104,15 @@ type Config struct {
 	WarmupInstrs uint64
 	ROIInstrs    uint64
 	SampleEvery  uint64
+
+	// TelemetryEvery, in primary-core instructions, collects the
+	// interval time-series (internal/telemetry: IPC, per-level MPKI,
+	// LLC occupancy, PInTE engine activity) every N instructions over
+	// the region of interest; 0 disables collection. Collection is
+	// observation-only — enabling it never changes simulation results —
+	// and the field is omitted from JSON when zero so journal hashes
+	// and golden outputs of telemetry-free configs are unaffected.
+	TelemetryEvery uint64 `json:",omitempty"`
 
 	// Seed drives every random stream in the run (generators, engine,
 	// randomised policies). Two runs with equal Config produce
@@ -256,6 +266,10 @@ type Result struct {
 	OccupancyFrac float64
 
 	Samples []Sample
+
+	// Telemetry carries the interval time-series when
+	// Config.TelemetryEvery is non-zero; omitted from JSON otherwise.
+	Telemetry *telemetry.Series `json:",omitempty"`
 
 	// Engine carries PInTE engine statistics (PInTE mode only).
 	Engine *pinte.Stats
@@ -538,12 +552,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	roiStartInstrs, roiStartCycles := core0.Instrs, core0.Cycles
 	roiEnd := roiStartInstrs + cfg.ROIInstrs
 
-	// Region of interest with periodic sampling.
+	// Region of interest with periodic sampling. The telemetry
+	// collector, when enabled, rides the same loop: its interval buffer
+	// is preallocated here so steady-state collection stays off the
+	// heap, and it only observes counters, never the machine state.
 	res := &Result{Config: cfg}
 	sampler := newSampler(cfg, core0, hier)
+	var col *telemetry.Collector
+	if cfg.TelemetryEvery > 0 {
+		col = telemetry.NewCollector(cfg.TelemetryEvery, cfg.ROIInstrs,
+			hier.LLC().CapacityBlocks(), telemetrySnap(core0, hier, engine))
+	}
 	err = sys.Run(func(*cpu.Core) bool {
 		tick()
 		sampler.maybeSample(&res.Samples)
+		if col != nil && core0.Instrs >= col.NextAt() {
+			col.Record(telemetrySnap(core0, hier, engine))
+		}
 		return interrupted() || core0.Instrs >= roiEnd
 	})
 	if err != nil {
@@ -553,6 +578,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, stopErr
 	}
 	sampler.maybeSample(&res.Samples)
+	if col != nil {
+		// Flush the partial tail so interval sums equal the ROI totals
+		// (the P_Induce audit cross-checks them against engine stats).
+		col.Tail(telemetrySnap(core0, hier, engine))
+		res.Telemetry = col.Series()
+	}
 
 	fillResult(res, core0, hier, engine, roiStartInstrs, roiStartCycles)
 	if dramInj != nil {
@@ -569,6 +600,28 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.WallTime = time.Since(start)
 	return res, nil
+}
+
+// telemetrySnap captures the cumulative counters the telemetry
+// collector differentiates. It builds the snapshot on the caller's
+// stack — no allocation on the sampling path.
+func telemetrySnap(core *cpu.Core, hier *cache.Hierarchy, engine *pinte.Engine) telemetry.Counters {
+	c := telemetry.Counters{
+		Instrs:       core.Instrs,
+		Cycles:       core.Cycles,
+		L1DMisses:    hier.L1D(0).Stats.Misses[0],
+		L2Misses:     hier.L2(0).Stats.Misses[0],
+		LLCMisses:    hier.LLC().Stats.Misses[0],
+		LLCOccupancy: hier.LLC().Stats.Occupancy[0],
+	}
+	if engine != nil {
+		c.EngineAccesses = engine.Stats.Accesses
+		c.EngineTriggers = engine.Stats.Triggers
+		c.EngineEvictBudget = engine.Stats.EvictBudget
+		c.EnginePromotions = engine.Stats.Promotions
+		c.EngineInvalidations = engine.Stats.Invalidations
+	}
+	return c
 }
 
 func fillResult(res *Result, core0 *cpu.Core, hier *cache.Hierarchy, engine *pinte.Engine, instrs0, cycles0 uint64) {

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestGoldenDeterminismTelemetryNeutral enforces the observation-only
+// contract: running the golden configs WITH telemetry collection
+// enabled must produce byte-identical simulation output. Only the
+// telemetry payload itself (and the config knob that requested it) may
+// differ from the on-disk goldens; every simulated counter, sample and
+// engine statistic has to match bit for bit, proving the collector
+// never perturbs the machine or any RNG stream.
+func TestGoldenDeterminismTelemetryNeutral(t *testing.T) {
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tcfg := cfg
+			tcfg.TelemetryEvery = 10_000
+			res, err := Run(tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Telemetry == nil || len(res.Telemetry.Intervals) == 0 {
+				t.Fatal("telemetry enabled but no intervals collected")
+			}
+			if res.Telemetry.Every != 10_000 {
+				t.Fatalf("series interval %d, want 10000", res.Telemetry.Every)
+			}
+
+			// Strip the telemetry-only fields; the remainder must equal
+			// the telemetry-free golden byte for byte.
+			res.Telemetry = nil
+			res.Config.TelemetryEvery = 0
+			got := goldenBytes(t, res)
+			want, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".json"))
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("enabling telemetry changed simulation output for %q; "+
+					"collection must be observation-only", name)
+			}
+		})
+	}
+}
+
+// TestTelemetryIntervalSums checks the collector's accounting closes:
+// with the tail flush, interval sums equal the run's ROI totals.
+func TestTelemetryIntervalSums(t *testing.T) {
+	cfg := goldenConfigs()["pinte"]
+	cfg.TelemetryEvery = 7_000 // deliberately misaligned with the ROI
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, trig := res.Telemetry.TriggerTotals()
+	if acc != res.Engine.Accesses || trig != res.Engine.Triggers {
+		t.Fatalf("interval sums %d/%d diverge from engine totals %d/%d",
+			acc, trig, res.Engine.Accesses, res.Engine.Triggers)
+	}
+	var instrs uint64
+	for _, iv := range res.Telemetry.Intervals {
+		instrs += iv.Instrs
+	}
+	if instrs != res.Instrs {
+		t.Fatalf("interval instruction sum %d != ROI instructions %d", instrs, res.Instrs)
+	}
+}
+
+// TestRealizedTriggerRateTracksPInduce is the statistical calibration
+// regression test: across a seed set and a P_Induce grid, the realized
+// trigger rate measured by the telemetry counters must land within a
+// binomial-confidence tolerance of the configured probability, with
+// both endpoints exact — the P_Induce = 0 rows must show zero triggers
+// and the P_Induce = 1 rows a trigger on every access.
+func TestRealizedTriggerRateTracksPInduce(t *testing.T) {
+	grid := []float64{0, 0.05, 0.3, 0.7, 1}
+	seeds := []uint64{1, 2, 3}
+	for _, p := range grid {
+		for _, seed := range seeds {
+			res, err := Run(Config{
+				Mode:           PInTE,
+				Workload:       "433.milc", // LLC-bound: plenty of engine accesses
+				PInduce:        p,
+				WarmupInstrs:   20_000,
+				ROIInstrs:      150_000,
+				SampleEvery:    150_000,
+				TelemetryEvery: 15_000,
+				Seed:           seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, trig := res.Telemetry.TriggerTotals()
+			if acc == 0 {
+				t.Fatalf("p=%v seed=%d: no engine accesses observed", p, seed)
+			}
+			aud := telemetry.NewAudit(p, acc, trig, res.Telemetry)
+			if !aud.Calibrated {
+				t.Errorf("p=%v seed=%d: realized %.5f over %d accesses (z=%.2f) outside tolerance",
+					p, seed, aud.Realized, acc, aud.Z)
+			}
+			switch p {
+			case 0:
+				if trig != 0 {
+					t.Errorf("p=0 seed=%d: %d triggers, want exactly 0", seed, trig)
+				}
+			case 1:
+				if trig != acc {
+					t.Errorf("p=1 seed=%d: %d triggers over %d accesses, want all", seed, trig, acc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import "math"
+
+// Audit compares a run's realized induction trigger rate against its
+// configured P_Induce — the calibration check behind the paper's Fig 4
+// flow: the engine's whole argument rests on triggers actually arriving
+// at the configured probability.
+type Audit struct {
+	// Configured is the run's P_Induce; Accesses and Triggers are the
+	// engine's ROI totals.
+	Configured float64
+	Accesses   uint64
+	Triggers   uint64
+
+	// Realized is Triggers/Accesses; Error is Realized - Configured.
+	Realized float64
+	Error    float64
+
+	// StdErr is the binomial standard error sqrt(p(1-p)/n) at the
+	// configured rate; Z is Error in standard-error units (0 whenever
+	// StdErr is 0, i.e. at the endpoints or with no accesses).
+	StdErr float64
+	Z      float64
+
+	// Intervals counts time-series intervals with at least one engine
+	// access; MinIntervalRate and MaxIntervalRate bound their realized
+	// rates, exposing drift a run-level mean would hide.
+	Intervals       int
+	MinIntervalRate float64
+	MaxIntervalRate float64
+
+	// Calibrated reports the audit verdict: the endpoints must be
+	// exact (P_Induce = 0 never triggers, P_Induce = 1 always does)
+	// and interior points must land within AuditZTolerance standard
+	// errors of the configured probability.
+	Calibrated bool
+}
+
+// AuditZTolerance is the acceptance band for interior P_Induce points,
+// in binomial standard errors. 4.5σ keeps the false-alarm probability
+// per audited run below 1e-5 while still catching a mis-wired RNG or a
+// biased comparison within one short run.
+const AuditZTolerance = 4.5
+
+// NewAudit builds the calibration audit for one run. series may be nil
+// when no interval time-series was collected; the run-level verdict
+// does not depend on it.
+func NewAudit(configured float64, accesses, triggers uint64, series *Series) Audit {
+	a := Audit{Configured: configured, Accesses: accesses, Triggers: triggers}
+	if accesses > 0 {
+		a.Realized = float64(triggers) / float64(accesses)
+		a.Error = a.Realized - configured
+		a.StdErr = math.Sqrt(configured * (1 - configured) / float64(accesses))
+	}
+	if a.StdErr > 0 {
+		a.Z = a.Error / a.StdErr
+	}
+	if series != nil {
+		first := true
+		for i := range series.Intervals {
+			iv := &series.Intervals[i]
+			if iv.EngineAccesses == 0 {
+				continue
+			}
+			r := iv.TriggerRate()
+			if first || r < a.MinIntervalRate {
+				a.MinIntervalRate = r
+			}
+			if first || r > a.MaxIntervalRate {
+				a.MaxIntervalRate = r
+			}
+			first = false
+			a.Intervals++
+		}
+	}
+
+	switch {
+	case accesses == 0:
+		a.Calibrated = triggers == 0
+	case configured == 0:
+		a.Calibrated = triggers == 0
+	case configured == 1:
+		a.Calibrated = triggers == accesses
+	default:
+		a.Calibrated = math.Abs(a.Z) <= AuditZTolerance
+	}
+	return a
+}

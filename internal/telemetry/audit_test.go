@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAuditEndpoints(t *testing.T) {
+	// P_Induce = 0 must be exact: a single stray trigger fails the
+	// audit no matter how many accesses dilute it.
+	if a := NewAudit(0, 1_000_000, 0, nil); !a.Calibrated {
+		t.Errorf("p=0 with 0 triggers not calibrated: %+v", a)
+	}
+	if a := NewAudit(0, 1_000_000, 1, nil); a.Calibrated {
+		t.Errorf("p=0 with 1 trigger reported calibrated: %+v", a)
+	}
+	// P_Induce = 1 symmetric.
+	if a := NewAudit(1, 500, 500, nil); !a.Calibrated {
+		t.Errorf("p=1 with all triggers not calibrated: %+v", a)
+	}
+	if a := NewAudit(1, 500, 499, nil); a.Calibrated {
+		t.Errorf("p=1 with a missed trigger reported calibrated: %+v", a)
+	}
+	// No accesses: vacuously calibrated only when nothing triggered.
+	if a := NewAudit(0.5, 0, 0, nil); !a.Calibrated {
+		t.Errorf("access-free run not calibrated: %+v", a)
+	}
+}
+
+func TestAuditInteriorTolerance(t *testing.T) {
+	// 3000/10000 at p=0.3: dead on.
+	a := NewAudit(0.3, 10_000, 3_000, nil)
+	if !a.Calibrated || a.Realized != 0.3 || a.Error != 0 || a.Z != 0 {
+		t.Fatalf("exact run misjudged: %+v", a)
+	}
+	wantSE := math.Sqrt(0.3 * 0.7 / 10_000)
+	if math.Abs(a.StdErr-wantSE) > 1e-12 {
+		t.Fatalf("StdErr = %v, want %v", a.StdErr, wantSE)
+	}
+
+	// Shift the count just inside, then just outside, the z band.
+	inside := uint64(3_000 + int(4.0*wantSE*10_000))
+	if a := NewAudit(0.3, 10_000, inside, nil); !a.Calibrated {
+		t.Errorf("4.0σ deviation rejected: %+v", a)
+	}
+	outside := uint64(3_000 + int(6.0*wantSE*10_000))
+	if a := NewAudit(0.3, 10_000, outside, nil); a.Calibrated {
+		t.Errorf("6σ deviation accepted: %+v", a)
+	}
+}
+
+func TestAuditIntervalBreakdown(t *testing.T) {
+	s := &Series{Every: 100, Intervals: []Interval{
+		{EngineAccesses: 100, EngineTriggers: 10},
+		{EngineAccesses: 0, EngineTriggers: 0}, // access-free: excluded
+		{EngineAccesses: 200, EngineTriggers: 60},
+	}}
+	a := NewAudit(0.25, 300, 70, s)
+	if a.Intervals != 2 {
+		t.Fatalf("Intervals = %d, want 2", a.Intervals)
+	}
+	if a.MinIntervalRate != 0.1 || a.MaxIntervalRate != 0.3 {
+		t.Fatalf("interval rate bounds = [%v, %v], want [0.1, 0.3]",
+			a.MinIntervalRate, a.MaxIntervalRate)
+	}
+}

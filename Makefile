@@ -11,10 +11,17 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 1
 BENCHOUT ?= BENCH_$(shell date +%F).json
+# Baseline for the regression gate: the newest committed perf-trajectory
+# entry that isn't the file this run writes. BENCHTOL is deliberately
+# generous — single-shot wall-clock numbers can swing 2x against a
+# quiet-window baseline on a shared host; tighten it when running with
+# BENCHTIME=2s BENCHCOUNT=6.
+BENCHBASE ?= $(shell git ls-files 'BENCH_*.json' | grep -v "^$(BENCHOUT)$$" | sort | tail -1)
+BENCHTOL ?= 1.0
 
-.PHONY: ci fmt vet build test race bench bench-smoke
+.PHONY: ci fmt vet build test race replay-check bench bench-smoke
 
-ci: fmt vet build test race bench-smoke
+ci: fmt vet build test race replay-check bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -32,18 +39,29 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/runner/... ./internal/telemetry/...
+	$(GO) test -race ./internal/sim/... ./internal/runner/... \
+		./internal/telemetry/... ./internal/replay/...
+
+# Replay-cache determinism gate: cached runs must be byte-identical to
+# generated runs and to the committed goldens.
+replay-check:
+	$(GO) test -count=1 -run 'TestReplayEquivalence|TestReplayMatchesGoldens' ./internal/sim
 
 # One pass over every benchmark as a compile-and-run smoke; keeps the
 # hot-path benchmarks building and non-panicking without the cost of a
 # full measurement.
 bench-smoke:
-	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/cache ./internal/trace ./internal/rng
+	$(GO) test -bench . -benchtime 1x -run '^$$' \
+		. ./internal/cache ./internal/trace ./internal/rng ./internal/replay
 
 # Full benchmark run, archived as a perf-trajectory entry. Raw output
-# streams to the terminal; the parsed results land in $(BENCHOUT).
+# streams to the terminal; the parsed results land in $(BENCHOUT). When
+# an earlier committed BENCH_*.json exists, benchjson also prints a
+# speedup table against it and fails the target on a regression beyond
+# BENCHTOL.
 bench:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
-		-run '^$$' . ./internal/cache ./internal/trace ./internal/rng | \
+		-run '^$$' . ./internal/cache ./internal/trace ./internal/rng ./internal/replay | \
 		$(GO) run ./cmd/benchjson -out $(BENCHOUT) \
-		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+		$(if $(BENCHBASE),-baseline $(BENCHBASE) -tolerance $(BENCHTOL))

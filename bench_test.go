@@ -10,10 +10,14 @@ package repro_test
 // Full sweep:             go test -bench=. -benchmem
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/expt"
+	"repro/internal/replay"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchScale keeps per-iteration cost bounded; the memo cache is NOT
@@ -220,6 +224,58 @@ func BenchmarkAblationSeeds(b *testing.B) {
 		spread = (hi - lo) / lo
 	}
 	b.ReportMetric(spread, "ipc-spread")
+}
+
+// BenchmarkSweepReplay quantifies the campaign-level record/replay cache
+// (internal/replay): a 12-point single-workload P_Induce sweep run
+// through the orchestrator with the stream cache off (every run
+// regenerates its trace) versus on (the stream is recorded once and
+// replayed for the other eleven points). The CacheOn case includes the
+// one-time recording cost, so the ratio is the honest end-to-end
+// campaign speedup.
+func BenchmarkSweepReplay(b *testing.B) {
+	sweepCfgs := func() []sim.Config {
+		pts := []float64{0.005, 0.01, 0.025, 0.05, 0.075, 0.10,
+			0.20, 0.30, 0.50, 0.70, 0.90, 1.0}
+		cfgs := make([]sim.Config, 0, len(pts))
+		for _, p := range pts {
+			cfgs = append(cfgs, sim.Config{
+				Workload:     "453.povray",
+				Mode:         sim.PInTE,
+				PInduce:      p,
+				WarmupInstrs: 20_000,
+				ROIInstrs:    500_000,
+				SampleEvery:  500_000,
+				Seed:         1,
+			})
+		}
+		return cfgs
+	}
+	run := func(b *testing.B, streams trace.SourceProvider) {
+		b.Helper()
+		orc := runner.New(runner.Options{Workers: 1, Streams: streams})
+		out, err := orc.RunAll(context.Background(), sweepCfgs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hard := out.HardFailures(); len(hard) > 0 {
+			b.Fatal(hard[0])
+		}
+	}
+	b.Run("CacheOff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("CacheOn", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh cache per iteration keeps the one-time recording
+			// cost inside the measurement, as a real campaign pays it.
+			run(b, replay.NewCache(512<<20))
+		}
+	})
 }
 
 // Benches for this reproduction's beyond-the-paper experiments.

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -out BENCH_2026-08-06.json
+//
+// With -baseline it also prints a per-benchmark speedup table against an
+// earlier report and exits nonzero when any shared benchmark regressed
+// more than -tolerance (fractional ns/op increase).
 package main
 
 import (
@@ -54,9 +58,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out    = flag.String("out", "", "output JSON path (default BENCH_<today>.json)")
-		commit = flag.String("commit", "", "git commit to record in the report")
-		notes  = flag.String("notes", "", "free-form notes to embed in the report")
+		out      = flag.String("out", "", "output JSON path (default BENCH_<today>.json)")
+		commit   = flag.String("commit", "", "git commit to record in the report")
+		notes    = flag.String("notes", "", "free-form notes to embed in the report")
+		baseline = flag.String("baseline", "", "earlier BENCH_*.json to compare against")
+		tol      = flag.Float64("tolerance", 1.0,
+			"fractional ns/op regression vs -baseline that fails the run "+
+				"(generous by default: 1x-benchtime wall-clock numbers swing "+
+				"with host load; tighten alongside longer -benchtime runs)")
 	)
 	flag.Parse()
 	path := *out
@@ -114,4 +123,17 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(rep.Benchmarks), path)
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, regressed := compareBaseline(base, &rep, *tol)
+		fmt.Print(table)
+		if len(regressed) > 0 {
+			log.Fatalf("%d benchmark(s) more than %.0f%% slower than %s: %s",
+				len(regressed), *tol*100, *baseline, strings.Join(regressed, ", "))
+		}
+	}
 }

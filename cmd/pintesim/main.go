@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/prof"
+	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -53,6 +54,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
 		retries   = flag.Int("retries", 0, "retries if the run panics or times out (seed is perturbed)")
 		resume    = flag.String("resume", "", "JSONL journal path: recall the run if journaled, checkpoint it otherwise")
+		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB (0 = off); a single run only benefits when a co-runner rewinds, but the flag keeps pintesim flag-compatible with pintesweep")
 	)
 	profOpts := prof.Flags(nil)
 	flag.Parse()
@@ -111,12 +113,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var streams trace.SourceProvider
+	if *replayMiB > 0 {
+		streams = replay.NewCache(*replayMiB << 20)
+	}
 	orc := runner.New(runner.Options{
 		Workers: 1,
 		Timeout: *timeout,
 		Retries: *retries,
 		Journal: *resume,
 		Logf:    log.Printf,
+		Streams: streams,
 	})
 	out, err := orc.RunAll(ctx, []sim.Config{cfg})
 	if perr := stopProf(); perr != nil {

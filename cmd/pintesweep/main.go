@@ -36,6 +36,7 @@ import (
 
 	pinte "repro/internal/core"
 	"repro/internal/prof"
+	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -57,6 +58,7 @@ func main() {
 		resume    = flag.String("resume", "", "JSONL journal path: checkpoint completed runs and skip them on restart")
 		progress  = flag.Bool("progress", false, "log periodic campaign heartbeats (completed/failed/rate/ETA) to stderr")
 		progEvery = flag.Duration("progress-every", 2*time.Second, "heartbeat period when -progress is set")
+		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB: each workload stream is generated once and replayed across all its sweep points (0 = off, regenerate per run)")
 	)
 	profOpts := prof.Flags(nil)
 	flag.Parse()
@@ -105,6 +107,12 @@ func main() {
 	if *progress {
 		heartbeat = *progEvery
 	}
+	var streams trace.SourceProvider
+	var streamCache *replay.Cache
+	if *replayMiB > 0 {
+		streamCache = replay.NewCache(*replayMiB << 20)
+		streams = streamCache
+	}
 	orc := runner.New(runner.Options{
 		Workers:  *workers,
 		Timeout:  *timeout,
@@ -112,6 +120,7 @@ func main() {
 		Journal:  *resume,
 		Logf:     log.Printf,
 		Progress: heartbeat,
+		Streams:  streams,
 	})
 	stopProf, err := profOpts.Start()
 	if err != nil {
@@ -124,6 +133,9 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err) // campaign-level fault (unusable journal)
+	}
+	if streamCache != nil && *progress {
+		log.Printf("%s", streamCache.Snapshot())
 	}
 	results := out.Results
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // micro returns the smallest scale that still exercises every experiment
@@ -86,6 +87,43 @@ func TestRunnerMemoizes(t *testing.T) {
 	}
 	if c == a {
 		t.Fatal("distinct configs shared a memo entry")
+	}
+}
+
+// TestMemoKeyAdHocSpecByContent is the regression test for the ad-hoc
+// spec memo-key bug: keys used to embed the spec's pointer
+// (fmt.Sprintf("%p", ...)), so mutating a spec in place silently
+// recalled the stale result, while rebuilding an identical spec at a new
+// address missed the memo. Keys must follow spec content, not identity.
+func TestMemoKeyAdHocSpecByContent(t *testing.T) {
+	r := NewRunner(micro())
+	spec := trace.MustLookup("453.povray").Spec
+	cfg := r.Iso("453.povray")
+	cfg.WorkloadSpec = &spec
+
+	before := r.key(cfg)
+	spec.MemFrac += 0.01 // mutate through the same pointer
+	if after := r.key(cfg); after == before {
+		t.Fatal("memo key ignored an in-place spec mutation (pointer keying)")
+	}
+
+	// Equal content at distinct addresses must share one memo slot.
+	clone := spec
+	cfg2 := cfg
+	cfg2.WorkloadSpec = &clone
+	if r.key(cfg) != r.key(cfg2) {
+		t.Fatal("identical ad-hoc specs at different addresses keyed differently")
+	}
+	a, err := r.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical ad-hoc specs did not share a memo entry")
 	}
 }
 

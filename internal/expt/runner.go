@@ -5,9 +5,17 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// replayBudget bounds the per-runner stream cache. The full 49-workload
+// scale records 49 primary streams of a few MiB each at paper scale, so
+// 1 GiB comfortably holds a complete campaign while still bounding a
+// pathological spec set.
+const replayBudget = 1 << 30
 
 // Runner executes simulations for the experiment generators, memoizing
 // results so experiments that share runs (the PInTE sweep feeds Table II,
@@ -16,8 +24,18 @@ import (
 // simulation surfaces as a structured error instead of killing the
 // process, and cancelling the runner's context (SIGINT in pintereport)
 // stops a campaign between runs. Safe for concurrent use.
+//
+// Runs additionally share a stream record/replay cache: every config
+// that reuses a (workload, seed) pair — all twelve P_Induce points of a
+// sweep, every rerun of the stability study, every co-run of the same
+// adversary — replays one recorded instruction stream instead of
+// re-executing the synthetic generator. Replayed results are
+// byte-identical to generated ones, so memoized values are unaffected.
 type Runner struct {
 	Scale Scale
+	// Streams is the campaign-wide record/replay cache handed to every
+	// run; set it to nil to regenerate streams per run.
+	Streams trace.SourceProvider
 
 	ctx  context.Context
 	mu   sync.Mutex
@@ -26,7 +44,12 @@ type Runner struct {
 
 // NewRunner builds a runner for scale.
 func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, ctx: context.Background(), memo: make(map[string]*sim.Result)}
+	return &Runner{
+		Scale:   s,
+		Streams: replay.NewCache(replayBudget),
+		ctx:     context.Background(),
+		memo:    make(map[string]*sim.Result),
+	}
 }
 
 // WithContext returns the runner bound to ctx: cancellation aborts any
@@ -40,7 +63,10 @@ func (r *Runner) WithContext(ctx context.Context) *Runner {
 }
 
 // key serialises the configuration fields the experiments vary. Ad-hoc
-// specs (WorkloadSpec overrides) are not memoizable and get unique keys.
+// specs (WorkloadSpec overrides) are keyed by their contents — a stable
+// fingerprint of the normalized encoding — never by pointer identity:
+// two distinct specs allocated at a reused address must not collide,
+// and two equal specs should share a memo slot.
 func (r *Runner) key(cfg sim.Config) string {
 	dram := "default"
 	if cfg.DRAM != nil {
@@ -48,7 +74,7 @@ func (r *Runner) key(cfg sim.Config) string {
 	}
 	ad := ""
 	if cfg.WorkloadSpec != nil || cfg.AdversarySpec != nil {
-		ad = fmt.Sprintf("|adhoc:%p/%p", cfg.WorkloadSpec, cfg.AdversarySpec)
+		ad = "|adhoc:" + specKey(cfg.WorkloadSpec) + "/" + specKey(cfg.AdversarySpec)
 	}
 	return fmt.Sprintf("m%d|w%s|a%s+%v|p%.6f|s%d.%d|%d/%d/%d.%d|b%s|h%+v|d%s|x%d.%.4f.%d.%d|pt%s.%d%s",
 		cfg.Mode, cfg.Workload, cfg.Adversary, cfg.Adversaries, cfg.PInduce, cfg.Seed, cfg.EngineSeed,
@@ -56,6 +82,14 @@ func (r *Runner) key(cfg sim.Config) string {
 		cfg.Branch, cfg.Hier, dram,
 		cfg.IndependentPeriod, cfg.DRAMContentionProb, cfg.DRAMContentionPenalty,
 		cfg.LLCWayAllocation, cfg.Partitioning, cfg.ReallocEvery, ad)
+}
+
+// specKey fingerprints an optional ad-hoc spec for memo keying.
+func specKey(s *trace.Spec) string {
+	if s == nil {
+		return "-"
+	}
+	return s.Fingerprint()
 }
 
 // base stamps the scale's budgets onto cfg.
@@ -131,7 +165,7 @@ func (r *Runner) GetAll(cfgs []sim.Config) ([]*sim.Result, error) {
 		r.mu.Lock()
 		ctx := r.ctx
 		r.mu.Unlock()
-		orc := runner.New(runner.Options{Workers: r.Scale.Workers})
+		orc := runner.New(runner.Options{Workers: r.Scale.Workers, Streams: r.Streams})
 		out, err := orc.RunAll(ctx, missing)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,423 @@
+// Package replay records the post-generator instruction stream of a
+// workload once and replays it read-only across every simulation that
+// shares the stream — the campaign-level analogue of checkpoint-style
+// simulation-interval reuse. A P_Induce sweep runs the same workload at
+// many injection probabilities; only the injection events differ, so the
+// deterministic synthetic generator re-derives an identical instruction
+// stream for every point. Recording that stream on first use and
+// replaying it for the rest of the campaign removes the generator
+// (~26 ns/instruction) from all but one run per stream.
+//
+// Streams are stored in compact columnar (SoA) chunks — one arena per
+// 64Ki records holding the op addresses (packed to 32 bits against the
+// stream's address-space base), branch outcome and dependence (MLP)
+// hint, 21 bytes per record — and grown at the frontier: a stream is
+// keyed by (spec fingerprint, seed, base) only, not by run length, so
+// runs with different warm-up/ROI budgets share one stream and simply
+// grow the recording as far as any consumer reads. The reader at the
+// frontier generates straight into its consumer's batch and packs the
+// same records into the arena as a side effect, so the recording run
+// pays only the pack — no staging buffer, no decode-back, and no
+// overgenerated tail. Published records are immutable; replay behind the
+// frontier is lock-free and allocation-free.
+package replay
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/trace"
+)
+
+// Key identifies one recorded stream: everything the generator's output
+// depends on. Run length is deliberately absent — streams extend on
+// demand — so sweeps with different warm-up/ROI budgets still share.
+type Key struct {
+	// Spec is the workload spec's content fingerprint
+	// (trace.Spec.Fingerprint), never a pointer identity.
+	Spec string
+	// Seed is the generator seed (already offset per core by the
+	// simulator).
+	Seed uint64
+	// Base is the core's address-space base.
+	Base uint64
+}
+
+const (
+	chunkShift = 16
+	chunkRecs  = 1 << chunkShift // records per arena chunk
+	chunkMask  = chunkRecs - 1
+)
+
+// chunk is one arena of chunkRecs records in columnar layout: 21 bytes
+// per record versus 48 for []trace.Record, and a single allocation per
+// 64Ki records. Records below the stream's published length are
+// immutable; the tail of the last chunk is written only under the
+// stream's mutex.
+//
+// Addresses are packed to 32 bits: code addresses (PC, Target) are
+// stored absolute — the generator places code at a fixed sub-4GiB base —
+// and data addresses are stored as offsets from the stream's
+// address-space base, with 0 reserved for "no operand" exactly as in
+// trace.Record (the generator's data regions start 1MiB past the base,
+// so a real operand never packs to 0). Recording validates every value
+// and panics if a spec's footprint escapes the 32-bit window; presets
+// are megabytes, so only a pathological ad-hoc spec can trip it, and
+// such a campaign should run with the replay cache off.
+type chunk struct {
+	pc     [chunkRecs]uint32
+	load0  [chunkRecs]uint32
+	load1  [chunkRecs]uint32
+	store  [chunkRecs]uint32
+	target [chunkRecs]uint32
+	flags  [chunkRecs]uint8
+}
+
+// chunkBytes is the accounted size of one arena.
+const chunkBytes = int64(unsafe.Sizeof(chunk{}))
+
+// Flag bits packed into the per-record flags column.
+const (
+	flagBranch    = 1 << 0
+	flagTaken     = 1 << 1
+	flagDependent = 1 << 2
+)
+
+// boolPat[f] is the in-memory image of trace.Record's three contiguous
+// bool fields (plus one padding byte) for flag combination f, letting
+// the decode loop write all three with a single 4-byte store. The table
+// is built from real Records at init, so it is correct for any byte
+// order; the init below proves the layout assumption.
+var boolPat [8]uint32
+
+// brShift/tkShift/dpShift are the bit positions of the three bools
+// inside that 4-byte image, derived at init from boolPat itself so the
+// encode side (record's flags pass) matches the decode table on any
+// byte order.
+var brShift, tkShift, dpShift uint
+
+func init() {
+	var r trace.Record
+	if unsafe.Offsetof(r.Taken) != unsafe.Offsetof(r.IsBranch)+1 ||
+		unsafe.Offsetof(r.Dependent) != unsafe.Offsetof(r.IsBranch)+2 ||
+		unsafe.Offsetof(r.IsBranch)+4 > unsafe.Sizeof(r) {
+		panic("replay: trace.Record bool layout changed; update the flags decode")
+	}
+	for f := range boolPat {
+		r = trace.Record{
+			IsBranch:  f&flagBranch != 0,
+			Taken:     f&flagTaken != 0,
+			Dependent: f&flagDependent != 0,
+		}
+		boolPat[f] = *(*uint32)(unsafe.Pointer(&r.IsBranch))
+	}
+	for _, f := range [...]int{flagBranch, flagTaken, flagDependent} {
+		if bits.OnesCount32(boolPat[f]) != 1 {
+			panic("replay: bool true is not a single set bit; update the flags encode")
+		}
+	}
+	brShift = uint(bits.TrailingZeros32(boolPat[flagBranch]))
+	tkShift = uint(bits.TrailingZeros32(boolPat[flagTaken]))
+	dpShift = uint(bits.TrailingZeros32(boolPat[flagDependent]))
+}
+
+// Stream is one recorded instruction stream. The recorded prefix is
+// append-only: readers below the published length never synchronise; the
+// reader at the frontier records under the stream's mutex (so concurrent
+// first-users of a cold stream share one recording instead of recording
+// twice) and every later reader replays for free.
+type Stream struct {
+	key Key
+
+	// mu serialises recording: the generator's state and the tail of
+	// the last chunk are only touched with it held.
+	mu  sync.Mutex
+	gen *trace.Generator
+
+	// chunks is the copy-on-write arena list and n the published record
+	// count. Publication order matters: a new chunk's slice pointer is
+	// stored before n admits its records, so a reader that observes
+	// n >= need and then loads chunks sees every chunk covering need.
+	chunks atomic.Pointer[[]*chunk]
+	n      atomic.Uint64
+
+	// grew, when non-nil, reports each arena allocation to the owning
+	// cache for budget accounting (called with mu held; the cache must
+	// not call back into the stream).
+	grew func(s *Stream, delta int64)
+
+	bytes int64 // accounted arena bytes, guarded by mu
+}
+
+// newStream builds an empty recording over gen. grew may be nil.
+func newStream(key Key, gen *trace.Generator, grew func(*Stream, int64)) *Stream {
+	s := &Stream{key: key, gen: gen, grew: grew}
+	empty := make([]*chunk, 0)
+	s.chunks.Store(&empty)
+	return s
+}
+
+// Key returns the stream's identity.
+func (s *Stream) Key() Key { return s.key }
+
+// Len returns the number of records recorded so far.
+func (s *Stream) Len() uint64 { return s.n.Load() }
+
+// Bytes returns the stream's accounted arena footprint.
+func (s *Stream) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// packData packs one data address as a 32-bit offset from the stream's
+// base, keeping 0 as "no operand".
+func packData(v, base uint64) uint32 {
+	if v == 0 {
+		return 0
+	}
+	off := v - base
+	if v < base || off == 0 || off>>32 != 0 {
+		panic("replay: data address outside the stream's 32-bit window; " +
+			"run this spec with the replay cache off")
+	}
+	return uint32(off)
+}
+
+// unpackData widens one packed data address, restoring the stream base
+// and keeping 0 as "no operand".
+func unpackData(v uint32, base uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return base + uint64(v)
+}
+
+// record generates the next len(out) records of the stream directly into
+// out and packs them into the arena, returning len(out). The caller must
+// be positioned exactly at the frontier (pos == Len()); if another
+// reader recorded past pos first, record returns 0 and the caller
+// re-reads the now-published prefix instead.
+func (s *Stream) record(pos uint64, out []trace.Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n.Load() != pos {
+		return 0
+	}
+	// The generator never ends a stream (it implements an infinite
+	// synthetic workload), so a full batch always arrives.
+	n, err := s.gen.NextBatch(out)
+	if err != nil || n != len(out) {
+		panic("replay: generator ended an infinite stream")
+	}
+	base := s.key.Base
+	chunks := *s.chunks.Load()
+	for i := 0; i < len(out); {
+		idx := int((pos + uint64(i)) >> chunkShift)
+		if idx == len(chunks) {
+			grown := make([]*chunk, len(chunks)+1)
+			copy(grown, chunks)
+			grown[len(chunks)] = new(chunk)
+			chunks = grown
+			s.chunks.Store(&grown)
+			s.bytes += chunkBytes
+			if s.grew != nil {
+				s.grew(s, chunkBytes)
+			}
+		}
+		c := chunks[idx]
+		j := int((pos + uint64(i)) & chunkMask)
+		seg := chunkRecs - j
+		if seg > len(out)-i {
+			seg = len(out) - i
+		}
+		src := out[i : i+seg : i+seg]
+		pc := c.pc[j : j+seg : j+seg]
+		l0 := c.load0[j : j+seg : j+seg]
+		l1 := c.load1[j : j+seg : j+seg]
+		st := c.store[j : j+seg : j+seg]
+		tg := c.target[j : j+seg : j+seg]
+		fl := c.flags[j : j+seg : j+seg]
+		// The bool triple is read as one 4-byte word (layout and 0/1
+		// representation asserted at init) and branchlessly recombined
+		// into the flags byte via the init-derived bit positions. The
+		// 32-bit window check is deferred — hi OR-accumulates every
+		// address's high half and is checked once per segment — so the
+		// pack loops run branch-free at memory speed.
+		var hi uint64
+		if base == 0 {
+			// Core-0 streams pack data addresses verbatim (0 stays 0):
+			// one sequential pass over the batch does the whole record.
+			for k := range src {
+				rec := &src[k]
+				hi |= rec.PC | rec.Load0 | rec.Load1 | rec.Store | rec.Target
+				pc[k] = uint32(rec.PC)
+				l0[k] = uint32(rec.Load0)
+				l1[k] = uint32(rec.Load1)
+				st[k] = uint32(rec.Store)
+				tg[k] = uint32(rec.Target)
+				w := *(*uint32)(unsafe.Pointer(&rec.IsBranch))
+				fl[k] = uint8((w>>brShift)&1 | ((w>>tkShift)&1)<<1 | ((w>>dpShift)&1)<<2)
+			}
+		} else {
+			for k := range src {
+				rec := &src[k]
+				hi |= rec.PC | rec.Target
+				pc[k] = uint32(rec.PC)
+				l0[k] = packData(rec.Load0, base)
+				l1[k] = packData(rec.Load1, base)
+				st[k] = packData(rec.Store, base)
+				tg[k] = uint32(rec.Target)
+				w := *(*uint32)(unsafe.Pointer(&rec.IsBranch))
+				fl[k] = uint8((w>>brShift)&1 | ((w>>tkShift)&1)<<1 | ((w>>dpShift)&1)<<2)
+			}
+		}
+		if hi>>32 != 0 {
+			panic("replay: address outside the stream's 32-bit window; " +
+				"run this spec with the replay cache off")
+		}
+		i += seg
+	}
+	s.n.Store(pos + uint64(len(out)))
+	return len(out)
+}
+
+// NewReplayer returns an independent reader positioned at the stream's
+// start. Replayers are not safe for concurrent use individually, but
+// any number may read one stream concurrently.
+func (s *Stream) NewReplayer() *Replayer { return &Replayer{s: s, base: s.key.Base} }
+
+// Replayer reads a recorded stream through the trace.Source contract.
+// Reads below the recorded frontier copy straight out of the columnar
+// arenas — no locks, no allocation, no generator work; the reader at the
+// frontier extends the recording with exactly the records its consumer
+// asked for.
+type Replayer struct {
+	s    *Stream
+	base uint64
+	pos  uint64
+
+	// chunks/limit cache the stream view this replayer has validated;
+	// refreshed only when pos reaches limit. Loading n before chunks
+	// (in refresh) pairs with the publication order in record.
+	chunks []*chunk
+	limit  uint64
+}
+
+// refresh re-snapshots the published arena view, returning whether it
+// now extends past the replayer's position.
+func (r *Replayer) refresh() bool {
+	r.limit = r.s.n.Load()
+	r.chunks = *r.s.chunks.Load()
+	return r.pos < r.limit
+}
+
+// NextBatch implements trace.BatchReader. It always fills recs
+// completely: recorded streams never end (the backing generator is
+// infinite), matching the generator's own contract.
+func (r *Replayer) NextBatch(recs []trace.Record) (int, error) {
+	out := recs
+	pos := r.pos
+	for len(out) > 0 {
+		if pos >= r.limit {
+			r.pos = pos
+			if r.refresh() {
+				continue
+			}
+			// At the frontier: generate the rest straight into out,
+			// recording it as a side effect. A return of 0 means another
+			// reader recorded past us first — loop and replay it.
+			n := r.s.record(pos, out)
+			pos += uint64(n)
+			out = out[n:]
+			continue
+		}
+		c := r.chunks[pos>>chunkShift]
+		j := int(pos & chunkMask)
+		seg := chunkRecs - j
+		if seg > len(out) {
+			seg = len(out)
+		}
+		if lim := int(r.limit - pos); seg > lim {
+			seg = lim
+		}
+		// Field-at-a-time transpose: each pass streams one column
+		// sequentially, and slicing both sides to the same length lets
+		// the compiler drop every bounds check.
+		dst := out[:seg:seg]
+		for k, v := range c.pc[j : j+seg : j+seg] {
+			dst[k].PC = uint64(v)
+		}
+		if base := r.base; base == 0 {
+			// Core-0 streams (base 0) pack data addresses verbatim:
+			// widening is the whole decode.
+			for k, v := range c.load0[j : j+seg : j+seg] {
+				dst[k].Load0 = uint64(v)
+			}
+			for k, v := range c.load1[j : j+seg : j+seg] {
+				dst[k].Load1 = uint64(v)
+			}
+			for k, v := range c.store[j : j+seg : j+seg] {
+				dst[k].Store = uint64(v)
+			}
+		} else {
+			for k, v := range c.load0[j : j+seg : j+seg] {
+				dst[k].Load0 = unpackData(v, base)
+			}
+			for k, v := range c.load1[j : j+seg : j+seg] {
+				dst[k].Load1 = unpackData(v, base)
+			}
+			for k, v := range c.store[j : j+seg : j+seg] {
+				dst[k].Store = unpackData(v, base)
+			}
+		}
+		for k, v := range c.target[j : j+seg : j+seg] {
+			dst[k].Target = uint64(v)
+		}
+		for k, f := range c.flags[j : j+seg : j+seg] {
+			*(*uint32)(unsafe.Pointer(&dst[k].IsBranch)) = boolPat[f&7]
+		}
+		out = out[seg:]
+		pos += uint64(seg)
+	}
+	r.pos = pos
+	return len(recs), nil
+}
+
+// Next implements trace.Reader.
+func (r *Replayer) Next(rec *trace.Record) error {
+	pos := r.pos
+	if pos == r.limit {
+		var one [1]trace.Record
+		if _, err := r.NextBatch(one[:]); err != nil {
+			return err
+		}
+		*rec = one[0]
+		return nil
+	}
+	c := r.chunks[pos>>chunkShift]
+	j := pos & chunkMask
+	f := c.flags[j]
+	*rec = trace.Record{
+		PC:        uint64(c.pc[j]),
+		Load0:     unpackData(c.load0[j], r.base),
+		Load1:     unpackData(c.load1[j], r.base),
+		Store:     unpackData(c.store[j], r.base),
+		Target:    uint64(c.target[j]),
+		IsBranch:  f&flagBranch != 0,
+		Taken:     f&flagTaken != 0,
+		Dependent: f&flagDependent != 0,
+	}
+	r.pos = pos + 1
+	return nil
+}
+
+// Rewind implements trace.Rewinder: the stream restarts from its first
+// record, exactly as a fresh generator would.
+func (r *Replayer) Rewind() {
+	r.pos = 0
+	r.limit = 0
+	r.chunks = nil
+}

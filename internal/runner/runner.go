@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Options tunes an Orchestrator. The zero value runs with GOMAXPROCS
@@ -57,6 +58,13 @@ type Options struct {
 	// campaign publishes its progress on expvar ("pinte.campaign",
 	// served by the prof package's -debug endpoint).
 	Progress time.Duration
+	// Streams, when non-nil, is stamped onto every config that does not
+	// already carry a stream provider: the campaign's record/replay
+	// cache (internal/replay). All workers then share each workload's
+	// recorded stream — it is recorded by whichever run needs it first
+	// and replayed read-only by the rest. Results are byte-identical
+	// with or without it (the provider is excluded from config hashing).
+	Streams trace.SourceProvider
 }
 
 // RunError describes one failed run of a campaign.
@@ -357,6 +365,9 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 	for attempts <= o.opts.Retries {
 		c := cfg
 		c.Seed = PerturbSeed(cfg.Seed, attempts)
+		if c.Streams == nil {
+			c.Streams = o.opts.Streams
+		}
 		if attempts > 0 {
 			prog.Retried()
 			o.logf("retry %d/%d for run %d (%s %s): %v; perturbed seed %d",

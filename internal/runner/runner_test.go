@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/replay"
 	"repro/internal/sim"
 )
 
@@ -235,6 +236,27 @@ func TestConfigKeyNormalizationAndSensitivity(t *testing.T) {
 	}
 	if c == a {
 		t.Fatal("distinct configs collide")
+	}
+}
+
+// TestConfigKeyIgnoresStreams pins the replay cache's journal contract:
+// attaching a stream source changes how records are produced, never
+// what they are, so it must not change the resume key — a sweep
+// journaled without the cache resumes cleanly with it, and vice versa.
+func TestConfigKeyIgnoresStreams(t *testing.T) {
+	plain := sim.Config{Workload: "433.milc", Mode: sim.PInTE, PInduce: 0.25}
+	a, err := ConfigKey(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := plain
+	cached.Streams = replay.NewCache(64 << 20)
+	b, err := ConfigKey(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("attaching a replay cache changed the journal config key")
 	}
 }
 

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/replay"
+)
+
+// TestReplayEquivalence locks the replay cache's core contract: a run
+// whose instruction streams come from the record/replay cache must be
+// byte-identical to a run that regenerates them — across all three
+// contention modes, and whether the stream is being recorded (first
+// use) or replayed (every later use).
+func TestReplayEquivalence(t *testing.T) {
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			direct, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := goldenBytes(t, direct)
+
+			cache := replay.NewCache(256 << 20)
+			for _, use := range []string{"recording", "replayed"} {
+				c := cfg
+				c.Streams = cache
+				res, err := Run(c)
+				if err != nil {
+					t.Fatalf("%s run: %v", use, err)
+				}
+				if got := goldenBytes(t, res); !bytes.Equal(got, want) {
+					t.Errorf("%s run diverged from the generated run; "+
+						"replayed streams must be record-for-record identical", use)
+				}
+			}
+			st := cache.Snapshot()
+			if st.Misses == 0 || st.Hits == 0 {
+				t.Fatalf("cache saw %d misses / %d hits; the second run "+
+					"should have replayed the first run's streams", st.Misses, st.Hits)
+			}
+		})
+	}
+}
+
+// TestReplayMatchesGoldens re-checks the committed goldens with the
+// cache attached: the on-disk fixed-seed artifacts must not depend on
+// whether streams were generated or replayed.
+func TestReplayMatchesGoldens(t *testing.T) {
+	cache := replay.NewCache(256 << 20)
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.Streams = cache
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".json"))
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(goldenBytes(t, res), want) {
+				t.Errorf("cache-on result for %q diverged from the committed golden", name)
+			}
+		})
+	}
+}

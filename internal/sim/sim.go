@@ -114,6 +114,20 @@ type Config struct {
 	// and golden outputs of telemetry-free configs are unaffected.
 	TelemetryEvery uint64 `json:",omitempty"`
 
+	// Streams, when non-nil, supplies the primary core's instruction
+	// stream — typically a campaign-wide record/replay cache
+	// (internal/replay) that records each workload stream once and
+	// replays it read-only across all runs sharing it (every P_Induce
+	// point of a sweep, every rerun and pairing). SecondTrace adversary
+	// cores always regenerate: their consumed length is IPC-dependent
+	// and unbounded, so caching them costs more than it returns. nil
+	// regenerates every stream per run. Replayed streams are record-
+	// for-record identical to generated ones, so results are byte-
+	// identical either way; the field is runtime plumbing, not
+	// configuration, and is excluded from JSON so journal config keys,
+	// memo keys and golden outputs are unaffected.
+	Streams trace.SourceProvider `json:"-"`
+
 	// Seed drives every random stream in the run (generators, engine,
 	// randomised policies). Two runs with equal Config produce
 	// identical results.
@@ -415,11 +429,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// streams resolves each core's instruction source: the replay cache
+	// when one is attached, a fresh generator otherwise.
+	streams := cfg.Streams
+	if streams == nil {
+		streams = trace.Generate{}
+	}
+
 	cpuCfg := cfg.CPU
 	if cpuCfg.MLP == 0 {
 		cpuCfg.MLP = spec.MLP
 	}
-	gen0, err := trace.NewGenerator(spec, cfg.Seed+1, 0)
+	gen0, err := streams.Source(spec, cfg.Seed+1, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +488,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			gen, err := trace.NewGenerator(aspec, cfg.Seed+2+uint64(i),
+			// Adversary streams always come from a fresh generator,
+			// never the replay cache: an adversary core consumes
+			// records until the primary finishes, so its stream length
+			// scales with the slowest pairing's cycle count rather
+			// than the configured ROI — recording such unbounded
+			// streams costs more arena memory and pack work than
+			// their replay returns.
+			gen, err := trace.Generate{}.Source(aspec, cfg.Seed+2+uint64(i),
 				adversaryBase*uint64(i+1))
 			if err != nil {
 				return nil, err

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// currentReplay backs the process-wide expvar view of the stream
+// record/replay cache, mirroring the campaign-progress pattern: the
+// most recently published cache wins, matching the one-cache-per-
+// process shape of the command-line tools.
+var (
+	currentReplay     atomic.Pointer[func() any]
+	replayPublishOnce sync.Once
+)
+
+// PublishReplay exposes snapshot as the live replay-cache view on the
+// expvar page (/debug/vars, key "pinte.replay" — served over HTTP by
+// the prof package's -debug endpoint). Idempotent; a later cache's
+// publish replaces an earlier one's. The snapshot function must be safe
+// to call from any goroutine at any time.
+func PublishReplay(snapshot func() any) {
+	currentReplay.Store(&snapshot)
+	replayPublishOnce.Do(func() {
+		expvar.Publish("pinte.replay", expvar.Func(func() any {
+			cur := currentReplay.Load()
+			if cur == nil {
+				return nil
+			}
+			return (*cur)()
+		}))
+	})
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Source is the instruction-stream contract a simulated core consumes:
+// batched reads plus the ability to restart the stream from the
+// beginning (the multi-programmed driver rewinds finished co-runners).
+// Two Sources for the same (spec, seed, base) must yield identical
+// record sequences, whether the records are generated live or replayed
+// from a recording.
+type Source interface {
+	BatchReader
+	Rewinder
+}
+
+// SourceProvider resolves the instruction stream for one core of a
+// simulation. The synthetic generator is the default provider; a
+// record/replay cache (internal/replay) substitutes recorded streams so
+// a sweep generates each workload stream once and replays it read-only
+// across every sweep point. Implementations must be safe for concurrent
+// use by parallel simulation workers, and every returned Source must
+// read the stream from its beginning.
+type SourceProvider interface {
+	Source(spec Spec, seed, base uint64) (Source, error)
+}
+
+// Generate is the pass-through SourceProvider: it builds a fresh
+// Generator per call, exactly what a simulation does when no replay
+// cache is attached.
+type Generate struct{}
+
+// Source implements SourceProvider.
+func (Generate) Source(spec Spec, seed, base uint64) (Source, error) {
+	return NewGenerator(spec, seed, base)
+}
+
+// Fingerprint returns a stable content hash of the spec: the SHA-256 of
+// its canonical JSON encoding. Two specs with equal contents fingerprint
+// identically regardless of where they are allocated, so the hash is
+// safe to use in memo and stream-cache keys where a pointer identity
+// would collide across allocations reusing the same address.
+func (s *Spec) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain data (numbers, strings, slices); Marshal cannot
+		// fail on it short of memory corruption.
+		panic("trace: marshal spec: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,8 +1,10 @@
 # Build/test entry points. `make ci` is the gate every PR must pass:
 # formatting, vet, a full build, the full test suite (which includes the
 # telemetry-enabled golden determinism check and the AllocsPerRun == 0
-# collector guard), and a race-checked run of the concurrent execution
-# stack (internal/sim + internal/runner + internal/telemetry).
+# collector guard), a race-checked run of the concurrent execution
+# stack (internal/sim + internal/runner + internal/telemetry +
+# internal/replay + internal/fault), and the chaos suite (fault matrix +
+# crash-recovery property test, race-enabled).
 
 GO ?= go
 
@@ -19,9 +21,9 @@ BENCHOUT ?= BENCH_$(shell date +%F).json
 BENCHBASE ?= $(shell git ls-files 'BENCH_*.json' | grep -v "^$(BENCHOUT)$$" | sort | tail -1)
 BENCHTOL ?= 1.0
 
-.PHONY: ci fmt vet build test race replay-check bench bench-smoke
+.PHONY: ci fmt vet build test race replay-check chaos bench bench-smoke
 
-ci: fmt vet build test race replay-check bench-smoke
+ci: fmt vet build test race chaos replay-check bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -40,7 +42,16 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/runner/... \
-		./internal/telemetry/... ./internal/replay/...
+		./internal/telemetry/... ./internal/replay/... ./internal/fault/...
+
+# Chaos suite: the fault-injection matrix, the randomized crash-recovery
+# property test and the durability tests, race-enabled. Asserts every
+# injected fault yields a clean typed error or a correct degraded result
+# — never a corrupt store or a silently wrong answer.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Watchdog|Backoff|Compact|Corrupt|Evict|SourceSite|FuzzLoadJournal|TestFault|TestParse|TestApply' \
+		./internal/fault/... ./internal/runner/... ./internal/replay/...
 
 # Replay-cache determinism gate: cached runs must be byte-identical to
 # generated runs and to the committed goldens.

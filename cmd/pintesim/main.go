@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/prof"
 	"repro/internal/replay"
 	"repro/internal/runner"
@@ -52,13 +53,28 @@ func main() {
 		samples   = flag.Bool("samples", false, "print per-interval samples")
 		telem     = flag.Uint64("telemetry", 0, "collect telemetry every N instructions and print the interval series plus P_Induce audit (0 = off)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
-		retries   = flag.Int("retries", 0, "retries if the run panics or times out (seed is perturbed)")
+		retries   = flag.Int("retries", 0, "retries if the run panics, times out or stalls (seed is perturbed)")
+		backoff   = flag.Duration("backoff", 0, "base delay before each retry, doubled per attempt with jitter (0 = retry immediately)")
+		stall     = flag.Duration("stall-grace", 0, "abandon the run this long after its deadline if it ignores cancellation (0 = wait forever)")
 		resume    = flag.String("resume", "", "JSONL journal path: recall the run if journaled, checkpoint it otherwise")
+		compact   = flag.String("journal-compact", "", "compact this resume journal in place (drop corrupt lines and superseded entries) and exit")
 		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB (0 = off); a single run only benefits when a co-runner rewinds, but the flag keeps pintesim flag-compatible with pintesweep")
 	)
 	profOpts := prof.Flags(nil)
+	chaos := fault.Flag(nil)
 	flag.Parse()
 
+	if err := fault.Apply(*chaos); err != nil {
+		log.Fatal(err)
+	}
+	if *compact != "" {
+		st, err := runner.CompactJournal(*compact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s", st)
+		return
+	}
 	if *list {
 		for _, n := range trace.Names() {
 			p := trace.MustLookup(n)
@@ -118,12 +134,14 @@ func main() {
 		streams = replay.NewCache(*replayMiB << 20)
 	}
 	orc := runner.New(runner.Options{
-		Workers: 1,
-		Timeout: *timeout,
-		Retries: *retries,
-		Journal: *resume,
-		Logf:    log.Printf,
-		Streams: streams,
+		Workers:    1,
+		Timeout:    *timeout,
+		Retries:    *retries,
+		Backoff:    *backoff,
+		StallGrace: *stall,
+		Journal:    *resume,
+		Logf:       log.Printf,
+		Streams:    streams,
 	})
 	out, err := orc.RunAll(ctx, []sim.Config{cfg})
 	if perr := stopProf(); perr != nil {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	pinte "repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/prof"
 	"repro/internal/replay"
 	"repro/internal/runner"
@@ -54,15 +55,30 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited)")
-		retries   = flag.Int("retries", 0, "retries for runs that panic or time out (seed is perturbed)")
+		retries   = flag.Int("retries", 0, "retries for runs that panic, time out or stall (seed is perturbed)")
+		backoff   = flag.Duration("backoff", 0, "base delay before each retry, doubled per attempt with jitter (0 = retry immediately)")
+		stall     = flag.Duration("stall-grace", 0, "abandon a run this long after its deadline if it ignores cancellation (0 = wait forever)")
 		resume    = flag.String("resume", "", "JSONL journal path: checkpoint completed runs and skip them on restart")
+		compact   = flag.String("journal-compact", "", "compact this resume journal in place (drop corrupt lines and superseded entries) and exit")
 		progress  = flag.Bool("progress", false, "log periodic campaign heartbeats (completed/failed/rate/ETA) to stderr")
 		progEvery = flag.Duration("progress-every", 2*time.Second, "heartbeat period when -progress is set")
 		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB: each workload stream is generated once and replayed across all its sweep points (0 = off, regenerate per run)")
 	)
 	profOpts := prof.Flags(nil)
+	chaos := fault.Flag(nil)
 	flag.Parse()
 
+	if err := fault.Apply(*chaos); err != nil {
+		log.Fatal(err)
+	}
+	if *compact != "" {
+		st, err := runner.CompactJournal(*compact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s", st)
+		return
+	}
 	if *workloads == "" {
 		log.Fatal("missing -workloads (comma-separated, or \"all\")")
 	}
@@ -114,13 +130,15 @@ func main() {
 		streams = streamCache
 	}
 	orc := runner.New(runner.Options{
-		Workers:  *workers,
-		Timeout:  *timeout,
-		Retries:  *retries,
-		Journal:  *resume,
-		Logf:     log.Printf,
-		Progress: heartbeat,
-		Streams:  streams,
+		Workers:    *workers,
+		Timeout:    *timeout,
+		Retries:    *retries,
+		Backoff:    *backoff,
+		StallGrace: *stall,
+		Journal:    *resume,
+		Logf:       log.Printf,
+		Progress:   heartbeat,
+		Streams:    streams,
 	})
 	stopProf, err := profOpts.Start()
 	if err != nil {
@@ -136,6 +154,9 @@ func main() {
 	}
 	if streamCache != nil && *progress {
 		log.Printf("%s", streamCache.Snapshot())
+	}
+	if fault.Enabled() {
+		log.Printf("%s", fault.Summary())
 	}
 	results := out.Results
 

@@ -1,10 +1,11 @@
 // Command pintetrace generates, inspects and converts instruction
-// traces.
+// traces, and compacts campaign resume journals.
 //
 //	pintetrace gen -workload 429.mcf -n 1000000 -o mcf.trc.gz
 //	pintetrace info mcf.trc.gz
 //	pintetrace convert -to champsim mcf.trc.gz mcf.champsim
 //	pintetrace convert -from champsim mcf.champsim mcf.trc.gz
+//	pintetrace compact sweep.journal
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/fault"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -37,6 +40,8 @@ func main() {
 		cmdInfo(ctx, os.Args[2:])
 	case "convert":
 		cmdConvert(ctx, os.Args[2:])
+	case "compact":
+		cmdCompact(os.Args[2:])
 	default:
 		usage()
 	}
@@ -57,6 +62,11 @@ func (c *ctxReader) Next(rec *trace.Record) error {
 			return fmt.Errorf("interrupted after %d records: %w", c.n-1, c.ctx.Err())
 		default:
 		}
+		// Chaos mode (-chaos trace.read:...) fails the pump with a typed
+		// error at the same cadence as the cancellation check.
+		if err := fault.Err(fault.SiteTraceRead); err != nil {
+			return fmt.Errorf("after %d records: %w", c.n-1, err)
+		}
 	}
 	return c.r.Next(rec)
 }
@@ -66,8 +76,28 @@ func usage() {
   pintetrace gen -workload <preset> [-n N] [-seed S] -o <file[.gz]>
   pintetrace info <file>
   pintetrace convert -to champsim <in.trc[.gz]> <out>
-  pintetrace convert -from champsim <in> <out.trc[.gz]>`)
+  pintetrace convert -from champsim <in> <out.trc[.gz]>
+  pintetrace compact <journal>`)
 	os.Exit(2)
+}
+
+// cmdCompact rewrites a campaign resume journal atomically, dropping
+// corrupt lines and superseded duplicate entries.
+func cmdCompact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	chaos := fault.Flag(fs)
+	fs.Parse(args)
+	if err := fault.Apply(*chaos); err != nil {
+		log.Fatal(err)
+	}
+	if len(fs.Args()) != 1 {
+		usage()
+	}
+	st, err := runner.CompactJournal(fs.Args()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st)
 }
 
 func cmdGen(ctx context.Context, args []string) {
@@ -76,7 +106,11 @@ func cmdGen(ctx context.Context, args []string) {
 	n := fs.Uint64("n", 1_000_000, "instructions to generate")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output trace path (.gz compresses)")
+	chaos := fault.Flag(fs)
 	fs.Parse(args)
+	if err := fault.Apply(*chaos); err != nil {
+		log.Fatal(err)
+	}
 	if *workload == "" || *out == "" {
 		usage()
 	}
@@ -180,7 +214,11 @@ func cmdConvert(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	to := fs.String("to", "", "target format: champsim")
 	from := fs.String("from", "", "source format: champsim")
+	chaos := fault.Flag(fs)
 	fs.Parse(args)
+	if err := fault.Apply(*chaos); err != nil {
+		log.Fatal(err)
+	}
 	rest := fs.Args()
 	if len(rest) != 2 || (*to == "") == (*from == "") {
 		usage()

@@ -11,6 +11,7 @@
 package prof
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -61,11 +62,23 @@ func (o *Options) Start() (stop func() error, err error) {
 		return func() error { return nil }, nil
 	}
 	var stops []func() error
+	// fail unwinds every profiler armed so far; unwind errors join the
+	// original so nothing is silently dropped.
 	fail := func(err error) (func() error, error) {
 		for i := len(stops) - 1; i >= 0; i-- {
-			stops[i]() //nolint:errcheck // best-effort unwind
+			err = errors.Join(err, stops[i]())
 		}
 		return nil, err
+	}
+	// closeProfile finalises one output file: a failed close means the
+	// profile on disk is truncated or unflushed, so the partial file is
+	// removed rather than left to confuse a later pprof invocation.
+	closeProfile := func(kind string, f *os.File) error {
+		if err := f.Close(); err != nil {
+			os.Remove(f.Name())
+			return fmt.Errorf("%s: closing %s: %w", kind, f.Name(), err)
+		}
+		return nil
 	}
 
 	if o.DebugAddr != "" {
@@ -88,11 +101,12 @@ func (o *Options) Start() (stop func() error, err error) {
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
+			os.Remove(f.Name())
 			return fail(fmt.Errorf("cpuprofile: %w", err))
 		}
 		stops = append(stops, func() error {
 			pprof.StopCPUProfile()
-			return f.Close()
+			return closeProfile("cpuprofile", f)
 		})
 	}
 	if o.Trace != "" {
@@ -102,11 +116,12 @@ func (o *Options) Start() (stop func() error, err error) {
 		}
 		if err := trace.Start(f); err != nil {
 			f.Close()
+			os.Remove(f.Name())
 			return fail(fmt.Errorf("trace: %w", err))
 		}
 		stops = append(stops, func() error {
 			trace.Stop()
-			return f.Close()
+			return closeProfile("trace", f)
 		})
 	}
 	if o.MemProfile != "" {
@@ -119,19 +134,20 @@ func (o *Options) Start() (stop func() error, err error) {
 			runtime.GC() // settle the heap so the profile shows live data
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				f.Close()
+				os.Remove(path)
 				return fmt.Errorf("memprofile: %w", err)
 			}
-			return f.Close()
+			return closeProfile("memprofile", f)
 		})
 	}
 
 	return func() error {
-		var first error
+		var errs []error
 		for i := len(stops) - 1; i >= 0; i-- {
-			if err := stops[i](); err != nil && first == nil {
-				first = err
+			if err := stops[i](); err != nil {
+				errs = append(errs, err)
 			}
 		}
-		return first
+		return errors.Join(errs...)
 	}, nil
 }

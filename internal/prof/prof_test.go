@@ -1,0 +1,59 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles arms every file-backed profiler and checks the
+// happy path leaves non-empty artifacts behind.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	o := &Options{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{o.CPUProfile, o.MemProfile, o.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartBadPathFailsCleanly checks an uncreatable profile path
+// surfaces an error from Start (not a silent no-op) and arms nothing.
+func TestStartBadPathFailsCleanly(t *testing.T) {
+	o := &Options{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	if _, err := o.Start(); err == nil {
+		t.Fatal("Start succeeded with an uncreatable cpuprofile path")
+	}
+}
+
+// TestMemProfileErrorRemovesPartialFile checks a heap-profile write to
+// an uncreatable path errors at stop time without leaving debris.
+func TestMemProfileErrorRemovesPartialFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")
+	o := &Options{MemProfile: path}
+	stop, err := o.Start()
+	if err != nil {
+		t.Fatal(err) // memprofile defers file work to stop
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with an uncreatable memprofile path")
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatalf("partial profile left behind at %s", path)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -49,6 +50,12 @@ type Stats struct {
 	Hits, Misses int64
 	// Evictions counts whole streams dropped to respect the budget.
 	Evictions int64
+	// CorruptChunks counts sealed arena chunks that failed checksum
+	// verification (the damaged stream is dropped from the pool);
+	// Fallbacks counts replayers that switched to live regeneration
+	// because of one — degraded but never wrong.
+	CorruptChunks int64
+	Fallbacks     int64
 	// Streams and Bytes describe current residency.
 	Streams int
 	Bytes   int64
@@ -59,8 +66,13 @@ type Stats struct {
 
 // String renders the snapshot as one log line.
 func (s Stats) String() string {
-	return fmt.Sprintf("replay cache: %d streams, %.1f MiB, %d hits, %d misses, %d evictions",
+	line := fmt.Sprintf("replay cache: %d streams, %.1f MiB, %d hits, %d misses, %d evictions",
 		s.Streams, float64(s.Bytes)/(1<<20), s.Hits, s.Misses, s.Evictions)
+	if s.CorruptChunks > 0 || s.Fallbacks > 0 {
+		line += fmt.Sprintf(", %d corrupt chunks, %d regeneration fallbacks",
+			s.CorruptChunks, s.Fallbacks)
+	}
+	return line
 }
 
 // NewCache builds a cache bounded by budgetBytes (<= 0 means unlimited)
@@ -75,6 +87,9 @@ func NewCache(budgetBytes int64) *Cache {
 // Source implements trace.SourceProvider: it returns a replayer over
 // the stream recorded for (spec, seed, base), recording on first use.
 func (c *Cache) Source(spec trace.Spec, seed, base uint64) (trace.Source, error) {
+	if err := fault.Err(fault.SiteReplaySource); err != nil {
+		return nil, err
+	}
 	key := Key{Spec: spec.Fingerprint(), Seed: seed, Base: base}
 	c.mu.Lock()
 	e := c.streams[key]
@@ -86,7 +101,7 @@ func (c *Cache) Source(spec trace.Spec, seed, base uint64) (trace.Source, error)
 			c.mu.Unlock()
 			return nil, err
 		}
-		e = &entry{stream: newStream(key, gen, c.grew)}
+		e = &entry{stream: newStream(key, spec, gen, c)}
 		c.streams[key] = e
 		c.stats.Misses++
 	} else {
@@ -110,10 +125,13 @@ func (c *Cache) grew(s *Stream, delta int64) {
 	}
 	c.bytes += delta
 	e.bytes += delta
-	if c.budget <= 0 {
+	// The evict fault simulates memory pressure: one forced LRU eviction
+	// on this growth even while under (or without) a budget.
+	force := fault.Fires(fault.SiteReplayEvict)
+	if c.budget <= 0 && !force {
 		return
 	}
-	for c.bytes > c.budget {
+	for force || (c.budget > 0 && c.bytes > c.budget) {
 		var victim Key
 		var victimEntry *entry
 		for k, cand := range c.streams {
@@ -130,7 +148,30 @@ func (c *Cache) grew(s *Stream, delta int64) {
 		c.bytes -= victimEntry.bytes
 		delete(c.streams, victim)
 		c.stats.Evictions++
+		force = false
 	}
+}
+
+// corrupted drops a stream whose arena failed checksum verification from
+// the pool, so future Source calls for its key re-record from scratch
+// instead of handing out more replayers over damaged chunks. In-flight
+// replayers of the dropped stream fall back to live regeneration on
+// their own. Called from the replay read path without the stream mutex.
+func (c *Cache) corrupted(s *Stream) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.CorruptChunks++
+	if e, ok := c.streams[s.key]; ok && e.stream == s {
+		c.bytes -= e.bytes
+		delete(c.streams, s.key)
+	}
+}
+
+// fellBack records one replayer switching to live regeneration.
+func (c *Cache) fellBack() {
+	c.mu.Lock()
+	c.stats.Fallbacks++
+	c.mu.Unlock()
 }
 
 // Snapshot returns the cache's current counters.

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzLoadJournal throws arbitrary bytes at the journal loader. The
+// invariants are blanket: LoadJournal never panics, never errors on
+// plain (non-IO-failing) input, and its accounting never goes negative —
+// whatever garbage a damaged disk serves, resume degrades to re-running
+// work, not to crashing or miscounting.
+func FuzzLoadJournal(f *testing.F) {
+	// Seed corpus: a real journal line, legacy bare JSON, classic
+	// corruption shapes, and framing edge cases.
+	o := New(Options{Workers: 1, Journal: filepath.Join(f.TempDir(), "seed.journal")})
+	o.run = fakeRun(nil)
+	if _, err := o.RunAll(context.Background(), []sim.Config{tinyCfg("w", 0.25)}); err != nil {
+		f.Fatal(err)
+	}
+	real, err := os.ReadFile(o.opts.Journal)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real)                                // intact checksummed entry
+	f.Add(real[:len(real)/2])                  // torn mid-append
+	f.Add([]byte(`{"key":"k","result":null}`)) // legacy line, nil result
+	f.Add([]byte(`{"key":"k","result":{"Config":{},"IPC":1}}`))
+	f.Add([]byte("!deadbeef {\"key\":\"k\"}\n")) // CRC mismatch
+	f.Add([]byte("!zzzzzzzz {}\n"))              // malformed hex
+	f.Add([]byte("!00"))                         // frame shorter than prefix
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n', '{'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		done, st, err := LoadJournal(path)
+		if err != nil {
+			t.Fatalf("LoadJournal errored on plain input: %v", err)
+		}
+		if st.Entries != len(done) {
+			t.Fatalf("Entries=%d but %d results loaded", st.Entries, len(done))
+		}
+		if st.Skipped < 0 || st.CRCFailed < 0 || st.CRCFailed > st.Skipped {
+			t.Fatalf("impossible accounting: %+v", st)
+		}
+		// Whatever loaded must survive a compact → reload round trip with
+		// nothing further dropped.
+		if _, err := CompactJournal(path); err != nil {
+			t.Fatalf("CompactJournal: %v", err)
+		}
+		again, st2, err := LoadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Skipped != 0 || len(again) != len(done) {
+			t.Fatalf("compact lost entries: before %d, after %d (%+v)", len(done), len(again), st2)
+		}
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -42,9 +43,26 @@ type Options struct {
 	// over budget fails with ErrTimeout (and may be retried).
 	Timeout time.Duration
 	// Retries is how many additional attempts a retryable failure
-	// (panic, timeout) gets. Each retry perturbs the config seed with
-	// PerturbSeed so a deterministically crashing run can escape.
+	// (panic, timeout, stall) gets. Each retry perturbs the config seed
+	// with PerturbSeed so a deterministically crashing run can escape.
 	Retries int
+	// Backoff, when positive, is the base delay inserted before retry
+	// attempt n: Backoff << (n-1), capped at BackoffMax, with a
+	// deterministic ±25% jitter derived from the config seed and attempt
+	// number so resumed campaigns pause identically while concurrent
+	// retries still decorrelate. 0 retries immediately (the previous
+	// behaviour).
+	Backoff time.Duration
+	// BackoffMax caps the exponential backoff; 0 means 16×Backoff.
+	BackoffMax time.Duration
+	// StallGrace arms the stuck-run watchdog: a run whose context has
+	// expired gets this much longer to return on its own before the
+	// orchestrator abandons the wedged goroutine and fails the attempt
+	// with sim.ErrStalled (retryable, counted in expvar). 0 disables the
+	// watchdog — a run that ignores its context then blocks its worker
+	// forever. The watchdog only triggers on an expired context, so a
+	// hang under neither Timeout nor cancellation is undetectable.
+	StallGrace time.Duration
 	// Journal, when non-empty, is the path of the JSONL checkpoint
 	// file. Existing entries are loaded first and their configs are
 	// skipped; every newly completed result is appended and flushed.
@@ -165,6 +183,9 @@ type Orchestrator struct {
 	// and hangs. nil means sim.RunContext. Panics are recovered by the
 	// orchestrator regardless of the function used.
 	run func(ctx context.Context, cfg sim.Config) (*sim.Result, error)
+	// sleep waits out a backoff delay; tests substitute a fake clock.
+	// nil means a context-aware real sleep.
+	sleep func(ctx context.Context, d time.Duration)
 }
 
 // New builds an orchestrator.
@@ -188,6 +209,49 @@ func PerturbSeed(seed uint64, attempt int) uint64 {
 	// Golden-ratio odd multiplier: distinct, well-mixed seeds per
 	// attempt without colliding with neighbouring campaign seeds.
 	return seed ^ uint64(attempt)*0x9e3779b97f4a7c15
+}
+
+// backoffDelay computes the pause before retry attempt n (n >= 1) of a
+// run with the given original seed: base << (n-1), capped at max (or
+// 16×base when max is 0), with a deterministic ±25% jitter so a resumed
+// campaign replays the same pauses while concurrent retries of
+// different configs decorrelate instead of thundering together.
+func backoffDelay(base, max time.Duration, attempt int, seed uint64) time.Duration {
+	if base <= 0 || attempt < 1 {
+		return 0
+	}
+	if max <= 0 {
+		max = 16 * base
+	}
+	d := base
+	// Shift step-wise against the cap so a large attempt count can
+	// never overflow the duration into a negative sleep.
+	for i := 1; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	// splitmix64 of (seed, attempt) → uniform [0,1) → factor in
+	// [0.75, 1.25).
+	x := seed ^ uint64(attempt)*0x9e3779b97f4a7c15
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := float64(x>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// ctxSleep is the default backoff sleep: d elapses or ctx ends,
+// whichever is first.
+func ctxSleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // RunAll executes cfgs under ctx and never aborts on a per-run failure:
@@ -359,6 +423,24 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 	if runFn == nil {
 		runFn = sim.RunContext
 	}
+	if fault.Enabled() {
+		// Chaos-mode worker faults wrap the real run so an injected panic
+		// is recovered by safeCall and an injected wedge is exactly what
+		// the watchdog must convert into a typed failure.
+		inner := runFn
+		runFn = func(ctx context.Context, c sim.Config) (*sim.Result, error) {
+			if fault.Fires(fault.SiteWorkerPanic) {
+				panic(fmt.Sprintf("%v at %s", fault.ErrInjected, fault.SiteWorkerPanic))
+			}
+			if d := fault.Delay(fault.SiteWorkerSlow); d > 0 {
+				time.Sleep(d)
+			}
+			if fault.Fires(fault.SiteWorkerHang) {
+				fault.Hang()
+			}
+			return inner(ctx, c)
+		}
+	}
 	start := time.Now()
 	var err error
 	attempts := 0
@@ -372,6 +454,17 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 			prog.Retried()
 			o.logf("retry %d/%d for run %d (%s %s): %v; perturbed seed %d",
 				attempts, o.opts.Retries, index, cfg.Mode, cfg.Workload, err, c.Seed)
+			if d := backoffDelay(o.opts.Backoff, o.opts.BackoffMax, attempts, cfg.Seed); d > 0 {
+				sleep := o.sleep
+				if sleep == nil {
+					sleep = ctxSleep
+				}
+				sleep(ctx, d)
+				if ctx.Err() != nil {
+					err = sim.ErrCanceled
+					break
+				}
+			}
 		}
 		attempts++
 
@@ -381,7 +474,7 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 			rctx, cancel = context.WithTimeout(ctx, o.opts.Timeout)
 		}
 		var res *sim.Result
-		res, err = safeCall(runFn, rctx, c)
+		res, err = o.guardedCall(runFn, rctx, c)
 		cancel()
 		if err == nil {
 			return res, attempts, nil
@@ -405,6 +498,46 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		re.Stack = string(pe.Stack)
 	}
 	return nil, attempts, re
+}
+
+// guardedCall runs one attempt under the stuck-run watchdog. With no
+// StallGrace the attempt runs inline (no extra goroutine, no overhead);
+// with one, the attempt runs in its own goroutine and — once the run's
+// context has expired — gets StallGrace longer to return before the
+// orchestrator walks away with sim.ErrStalled. The abandoned goroutine
+// is leaked deliberately: a truly wedged worker (deadlock, blocked
+// syscall) cannot be killed from outside, and leaking it bounded-many
+// times (Retries per config) beats wedging the campaign forever.
+func (o *Orchestrator) guardedCall(runFn func(context.Context, sim.Config) (*sim.Result, error),
+	ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	if o.opts.StallGrace <= 0 {
+		return safeCall(runFn, ctx, cfg)
+	}
+	type attempt struct {
+		res *sim.Result
+		err error
+	}
+	// Buffered so the abandoned goroutine's eventual send never blocks.
+	ch := make(chan attempt, 1)
+	go func() {
+		res, err := safeCall(runFn, ctx, cfg)
+		ch <- attempt{res, err}
+	}()
+	select {
+	case a := <-ch:
+		return a.res, a.err
+	case <-ctx.Done():
+	}
+	grace := time.NewTimer(o.opts.StallGrace)
+	defer grace.Stop()
+	select {
+	case a := <-ch:
+		return a.res, a.err
+	case <-grace.C:
+		telemetry.Degraded.StalledRuns.Add(1)
+		return nil, fmt.Errorf("%w (no response %v past its context)",
+			sim.ErrStalled, o.opts.StallGrace)
+	}
 }
 
 // safeCall runs one attempt with panic isolation: a crash inside the

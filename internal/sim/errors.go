@@ -8,8 +8,8 @@ import (
 // Error taxonomy for the execution stack. Every failure surfaced by
 // Run/RunMany and the internal/runner orchestrator wraps one of these
 // sentinels, so callers can classify failures with errors.Is and decide
-// whether a retry can help (ErrPanic, ErrTimeout) or not (ErrBadConfig,
-// ErrCanceled).
+// whether a retry can help (ErrPanic, ErrTimeout, ErrStalled) or not
+// (ErrBadConfig, ErrCanceled).
 var (
 	// ErrBadConfig marks a configuration rejected by Validate before
 	// any simulation work started. Never retryable.
@@ -23,6 +23,11 @@ var (
 	// ErrCanceled marks a run stopped by whole-campaign cancellation
 	// (SIGINT/SIGTERM or an explicit context cancel).
 	ErrCanceled = errors.New("sim: run canceled")
+	// ErrStalled marks a run whose worker ignored its expired context for
+	// longer than the orchestrator's stall grace: the watchdog abandoned
+	// the wedged goroutine and surfaced this instead of hanging the
+	// campaign. Retryable — a wedge can be seed-dependent.
+	ErrStalled = errors.New("sim: run stalled past its deadline")
 )
 
 // PanicError carries the recovered panic value and goroutine stack of a
@@ -56,8 +61,8 @@ func (f *RunFailure) Error() string {
 func (f *RunFailure) Unwrap() error { return f.Err }
 
 // Retryable reports whether a failed run might succeed on a retry with
-// a perturbed seed: panics and timeouts can be seed-dependent, while
-// bad configs and cancellations cannot.
+// a perturbed seed: panics, timeouts and stalls can be seed-dependent,
+// while bad configs and cancellations cannot.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrPanic) || errors.Is(err, ErrTimeout)
+	return errors.Is(err, ErrPanic) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrStalled)
 }

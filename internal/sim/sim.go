@@ -21,6 +21,7 @@ import (
 	pinte "repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/partition"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -441,8 +442,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		cpuCfg.MLP = spec.MLP
 	}
 	gen0, err := streams.Source(spec, cfg.Seed+1, 0)
+	if err == nil {
+		err = fault.Err(fault.SiteSimSource)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if fault.Enabled() {
+		// Chaos mode interposes on the primary stream so trace.read
+		// faults surface through the core's error path mid-run. Never
+		// wrapped in production: Enabled() is false there, keeping the
+		// hot call edge devirtualised.
+		gen0 = &faultSource{src: gen0}
 	}
 	bp0, err := branch.New(cfg.Branch)
 	if err != nil {

@@ -53,10 +53,14 @@ chaos:
 		-run 'Chaos|Watchdog|Backoff|Compact|Corrupt|Evict|SourceSite|FuzzLoadJournal|TestFault|TestParse|TestApply' \
 		./internal/fault/... ./internal/runner/... ./internal/replay/...
 
-# Replay-cache determinism gate: cached runs must be byte-identical to
-# generated runs and to the committed goldens.
+# Replay-cache and fan-out determinism gate: cached runs must be
+# byte-identical to generated runs and to the committed goldens, and
+# fan-out groups (shared-decode lockstep execution) must be
+# byte-identical to the sequential per-run path at both the simulator
+# and campaign level.
 replay-check:
-	$(GO) test -count=1 -run 'TestReplayEquivalence|TestReplayMatchesGoldens' ./internal/sim
+	$(GO) test -count=1 -run 'TestReplayEquivalence|TestReplayMatchesGoldens|TestFanout' \
+		./internal/sim ./internal/runner
 
 # One pass over every benchmark as a compile-and-run smoke; keeps the
 # hot-path benchmarks building and non-panicking without the cost of a

@@ -17,6 +17,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -276,6 +277,55 @@ func BenchmarkSweepReplay(b *testing.B) {
 			run(b, replay.NewCache(512<<20))
 		}
 	})
+}
+
+// BenchmarkSweepFanout measures the one-decode fan-out executor on the
+// same 12-point sweep as BenchmarkSweepReplay: the points share a
+// (workload, seed) stream, so the fan phase decodes each columnar chunk
+// once and advances all twelve simulators in lockstep. Compare against
+// BenchmarkSweepReplay/CacheOn in the recorded baseline — same sweep,
+// same stream cache, sequential execution — for the executor's own
+// contribution. Every iteration checks the decode-sharing invariant via
+// the fan-out telemetry: one group, twelve points, one decode pass.
+func BenchmarkSweepFanout(b *testing.B) {
+	pts := []float64{0.005, 0.01, 0.025, 0.05, 0.075, 0.10,
+		0.20, 0.30, 0.50, 0.70, 0.90, 1.0}
+	cfgs := make([]sim.Config, 0, len(pts))
+	for _, p := range pts {
+		cfgs = append(cfgs, sim.Config{
+			Workload:     "453.povray",
+			Mode:         sim.PInTE,
+			PInduce:      p,
+			WarmupInstrs: 20_000,
+			ROIInstrs:    500_000,
+			SampleEvery:  500_000,
+			Seed:         1,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		before := telemetry.FanoutSnapshot()
+		// A fresh cache per iteration keeps the one-time recording
+		// cost inside the measurement, as a real campaign pays it.
+		orc := runner.New(runner.Options{
+			Workers: 1, Streams: replay.NewCache(512 << 20), Fanout: true,
+		})
+		out, err := orc.RunAll(context.Background(), cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hard := out.HardFailures(); len(hard) > 0 {
+			b.Fatal(hard[0])
+		}
+		after := telemetry.FanoutSnapshot()
+		if g, d := after["groups_formed"]-before["groups_formed"],
+			after["decode_passes"]-before["decode_passes"]; g != 1 || d != 1 {
+			b.Fatalf("decode sharing broken: %d groups, %d decode passes (want 1 and 1)", g, d)
+		}
+		if p := after["points_fanned"] - before["points_fanned"]; p != int64(len(cfgs)) {
+			b.Fatalf("only %d of %d points fanned", p, len(cfgs))
+		}
+	}
 }
 
 // Benches for this reproduction's beyond-the-paper experiments.

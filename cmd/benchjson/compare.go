@@ -28,17 +28,25 @@ func oneShot(r Result) bool { return r.Iterations <= 1 && r.NsPerOp < 1e6 }
 // compareBaseline renders a per-benchmark speedup table of cur against
 // base and returns the names of benchmarks whose ns/op regressed beyond
 // tol (fractional: 0.5 = 50% slower than baseline). Benchmarks present
-// on only one side are listed but never count as regressions, so adding
-// or retiring a benchmark doesn't fail the gate; nor do comparisons
-// where either side is a one-shot sub-millisecond timing (run with
-// BENCHTIME=2s BENCHCOUNT=6 to gate the micro-benchmarks too).
+// on only one side are listed — NEW when the baseline predates them,
+// RETIRED when they've since been dropped — but never count as
+// regressions, so adding or retiring a benchmark doesn't fail the gate;
+// nor do comparisons where either side is a one-shot sub-millisecond
+// timing (run with BENCHTIME=2s BENCHCOUNT=6 to gate the
+// micro-benchmarks too).
 func compareBaseline(base, cur *Report, tol float64) (string, []string) {
 	old := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		old[r.Name] = r
 	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
 	width := len("benchmark")
 	for _, r := range cur.Benchmarks {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	for _, r := range base.Benchmarks {
 		if len(r.Name) > width {
 			width = len(r.Name)
 		}
@@ -50,10 +58,19 @@ func compareBaseline(base, cur *Report, tol float64) (string, []string) {
 		width, "benchmark", "base ns/op", "ns/op", "speedup")
 	var regressed []string
 	for _, r := range cur.Benchmarks {
+		seen[r.Name] = true
 		o, ok := old[r.Name]
-		if !ok || o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+		if !ok {
+			// No baseline entry: the benchmark postdates the baseline
+			// file. Report it so the run is visible, but a NEW
+			// benchmark can neither regress nor be dropped.
 			fmt.Fprintf(&b, "%-*s  %14s  %14.1f  %8s\n",
-				width, r.Name, "-", r.NsPerOp, "new")
+				width, r.Name, "-", r.NsPerOp, "NEW")
+			continue
+		}
+		if o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			fmt.Fprintf(&b, "%-*s  %14.1f  %14.1f  %8s  (no timing, not gated)\n",
+				width, r.Name, o.NsPerOp, r.NsPerOp, "-")
 			continue
 		}
 		speedup := o.NsPerOp / r.NsPerOp
@@ -67,6 +84,12 @@ func compareBaseline(base, cur *Report, tol float64) (string, []string) {
 		}
 		fmt.Fprintf(&b, "%-*s  %14.1f  %14.1f  %7.2fx%s\n",
 			width, r.Name, o.NsPerOp, r.NsPerOp, speedup, mark)
+	}
+	for _, o := range base.Benchmarks {
+		if !seen[o.Name] {
+			fmt.Fprintf(&b, "%-*s  %14.1f  %14s  %8s\n",
+				width, o.Name, o.NsPerOp, "-", "RETIRED")
+		}
 	}
 	return b.String(), regressed
 }

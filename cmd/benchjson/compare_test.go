@@ -28,13 +28,39 @@ func TestCompareBaselineFlagsRegressions(t *testing.T) {
 	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
 		t.Fatalf("regressed = %v, want [BenchmarkB]", regressed)
 	}
-	for _, want := range []string{"2.50x", "0.50x", "REGRESSED", "new"} {
+	for _, want := range []string{"2.50x", "0.50x", "REGRESSED", "NEW", "RETIRED"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
 	}
 	if strings.Count(table, "REGRESSED") != 1 {
 		t.Errorf("only BenchmarkB should be marked:\n%s", table)
+	}
+}
+
+// TestCompareBaselineReportsNewBenchmarks pins the freshly-added-
+// benchmark contract: a benchmark missing from the baseline (the usual
+// state right after a perf PR adds one) is reported as NEW on its own
+// line and can neither regress nor disappear from the table, no matter
+// how slow its first recorded run is.
+func TestCompareBaselineReportsNewBenchmarks(t *testing.T) {
+	base := rep("BenchmarkOld", 100.0)
+	cur := rep("BenchmarkOld", 100.0, "BenchmarkSweepFanout", 9e9)
+	table, regressed := compareBaseline(base, cur, 0.0)
+	if len(regressed) != 0 {
+		t.Fatalf("a NEW benchmark was gated as a regression: %v", regressed)
+	}
+	line := ""
+	for _, l := range strings.Split(table, "\n") {
+		if strings.Contains(l, "BenchmarkSweepFanout") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("NEW benchmark dropped from the table:\n%s", table)
+	}
+	if !strings.Contains(line, "NEW") {
+		t.Errorf("missing NEW marker: %q", line)
 	}
 }
 

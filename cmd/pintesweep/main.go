@@ -63,6 +63,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "log periodic campaign heartbeats (completed/failed/rate/ETA) to stderr")
 		progEvery = flag.Duration("progress-every", 2*time.Second, "heartbeat period when -progress is set")
 		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB: each workload stream is generated once and replayed across all its sweep points (0 = off, regenerate per run)")
+		fanout    = flag.Bool("fanout", true, "run sweep points sharing a (workload, seed) stream in lockstep over one trace decode (results are byte-identical; failed points fall back to per-run execution)")
 	)
 	profOpts := prof.Flags(nil)
 	chaos := fault.Flag(nil)
@@ -139,6 +140,7 @@ func main() {
 		Logf:       log.Printf,
 		Progress:   heartbeat,
 		Streams:    streams,
+		Fanout:     *fanout,
 	})
 	stopProf, err := profOpts.Start()
 	if err != nil {

@@ -168,6 +168,11 @@ type Hierarchy struct {
 	// exclusive LLC up to the L2 fill that follows it.
 	exclDirty bool
 
+	// capture, when non-nil, puts the hierarchy in front-capture mode
+	// (see front.go): demand accesses stop at the L2 boundary and the
+	// below-L2 work is recorded for fan-out followers to replay.
+	capture *FrontCapture
+
 	Stats HierarchyStats
 }
 
@@ -333,8 +338,14 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, kind AccessKind, now uint6
 	lat := l1.HitLatency()
 	hit := l1.Lookup(addr, core, isWrite)
 	if !hit {
+		if h.capture != nil {
+			h.capture.openEvent(addr, kind)
+		}
 		lat += h.fromL2(core, pc, addr, now+lat)
 		h.fillL1(core, l1, addr, isWrite)
+		if h.capture != nil {
+			h.capture.closeEvent()
+		}
 	}
 	if pf != nil {
 		h.runPrefetch(core, 1, pf, pc, addr, !hit, now)
@@ -364,6 +375,14 @@ func (h *Hierarchy) fromL2(core int, pc, addr uint64, now uint64) uint64 {
 // fromLLC continues a demand miss below the L2. The PInTE injector, when
 // attached, runs inside llc.Lookup on both hits and misses.
 func (h *Hierarchy) fromLLC(core int, addr uint64, now uint64) uint64 {
+	if h.capture != nil {
+		// Capture mode: the LLC (and everything below) is per-point
+		// state a follower replays via DescendLLC; record the descent
+		// and return a latency nobody reads (the front's clock is not a
+		// point's clock).
+		h.capture.markDescend()
+		return h.llc.HitLatency()
+	}
 	lat := h.llc.HitLatency()
 	if h.llc.Lookup(addr, core, false) {
 		if h.incl == Exclusive {
@@ -412,6 +431,10 @@ func (h *Hierarchy) fillL2(core int, addr uint64, dirty bool) {
 	default:
 		// Inclusive / non-inclusive: only dirty victims travel down.
 		if v.Dirty {
+			if h.capture != nil {
+				h.capture.addWriteback(v.Addr)
+				return
+			}
 			h.Stats.LLCWritebackFills++
 			lv := h.llc.Fill(v.Addr, core, true, false)
 			h.handleLLCVictim(lv, 0)

@@ -31,6 +31,12 @@ type Config struct {
 	MLP int
 }
 
+// Resolved returns the config with its zero-value defaults applied —
+// the exact parameters a Core built from it would run with. The fan-out
+// follower (internal/sim), which prices instructions from a digest
+// without constructing a Core, uses it to mirror the timing model.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Width == 0 {
 		c.Width = 4
@@ -73,6 +79,7 @@ type Core struct {
 	cfg    Config
 	reader trace.Reader
 	batch  trace.BatchReader // non-nil when reader supports batching
+	slice  trace.SliceReader // non-nil when reader hands out decoded views
 	hier   *cache.Hierarchy
 	bp     branch.Predictor
 
@@ -108,7 +115,10 @@ type Core struct {
 	// construction — it depends only on the prefetcher configuration.
 	dataFast bool
 
-	// recs[recPos:recLen] is the pending slice of the current batch.
+	// recs[recPos:recLen] is the pending slice of the current batch. On
+	// the batch path recs is the core's own refill buffer; on the slice
+	// path it aliases an externally-owned decoded batch (a fan-out
+	// view), read-only and valid until the next NextSlice call.
 	recs   []trace.Record
 	recPos int
 	recLen int
@@ -128,7 +138,11 @@ func NewCore(id int, cfg Config, r trace.Reader, h *cache.Hierarchy, bp branch.P
 		fetchBlk: ^uint64(0),
 		dataFast: h.DataFastOK(id),
 	}
-	if br, ok := r.(trace.BatchReader); ok {
+	if sr, ok := r.(trace.SliceReader); ok {
+		// Zero-copy path: the reader owns the decode buffer (one decode
+		// shared across a fan-out group); the core just walks its views.
+		c.slice = sr
+	} else if br, ok := r.(trace.BatchReader); ok {
 		c.batch = br
 		c.recs = make([]trace.Record, batchSize)
 	}
@@ -173,7 +187,7 @@ func (c *Core) Step(n uint64) uint64 {
 	if c.done || c.err != nil {
 		return 0
 	}
-	if c.batch != nil {
+	if c.batch != nil || c.slice != nil {
 		return c.stepBatched(n)
 	}
 	var executed uint64
@@ -198,7 +212,17 @@ func (c *Core) stepBatched(n uint64) uint64 {
 	var executed uint64
 	for executed < n {
 		if c.recPos >= c.recLen {
-			m, err := c.batch.NextBatch(c.recs)
+			var m int
+			var err error
+			if c.slice != nil {
+				var view []trace.Record
+				view, err = c.slice.NextSlice()
+				if m = len(view); m > 0 {
+					c.recs = view
+				}
+			} else {
+				m, err = c.batch.NextBatch(c.recs)
+			}
 			if m == 0 {
 				if err == nil || errors.Is(err, io.EOF) {
 					c.done = true

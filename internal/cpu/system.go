@@ -1,5 +1,12 @@
 package cpu
 
+// DefaultQuantum is the scheduling quantum in instructions: how many a
+// core runs per turn, and therefore the granularity at which stop
+// conditions are evaluated. The fan-out executor (internal/sim) mirrors
+// the same boundaries when replaying a digest, so primary-core record
+// consumption matches the sequential path exactly.
+const DefaultQuantum = 64
+
 // System interleaves multiple cores that share one hierarchy. The
 // scheduler always advances the core with the smallest local clock, which
 // reproduces the arrival-order structure of a cycle-interleaved
@@ -7,7 +14,7 @@ package cpu
 type System struct {
 	Cores []*Core
 	// Quantum is how many instructions a core runs per scheduling turn;
-	// 0 means 64.
+	// 0 means DefaultQuantum.
 	Quantum uint64
 	// RestartFinished re-winds every core whose trace ends (ChampSim's
 	// multi-programmed behaviour: faster traces restart until the
@@ -19,7 +26,7 @@ type System struct {
 
 // NewSystem builds a system over cores.
 func NewSystem(cores ...*Core) *System {
-	return &System{Cores: cores, Quantum: 64}
+	return &System{Cores: cores, Quantum: DefaultQuantum}
 }
 
 // next picks the runnable core with the smallest cycle count, or nil.
@@ -42,7 +49,7 @@ func (s *System) next() *Core {
 func (s *System) Run(stop func(ran *Core) bool) error {
 	q := s.Quantum
 	if q == 0 {
-		q = 64
+		q = DefaultQuantum
 	}
 	for {
 		c := s.next()

@@ -165,7 +165,10 @@ func (r *Runner) GetAll(cfgs []sim.Config) ([]*sim.Result, error) {
 		r.mu.Lock()
 		ctx := r.ctx
 		r.mu.Unlock()
-		orc := runner.New(runner.Options{Workers: r.Scale.Workers, Streams: r.Streams})
+		// Fan-out is always on for experiment batches: a sweep's points
+		// share one decode pass, results are byte-identical, and any
+		// in-group failure falls back to the per-run path below.
+		orc := runner.New(runner.Options{Workers: r.Scale.Workers, Streams: r.Streams, Fanout: true})
 		out, err := orc.RunAll(ctx, missing)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,431 @@
+package replay
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// refGen builds an independent reference generator for comparisons.
+func refGen(t *testing.T, s trace.Spec, seed, base uint64) *trace.Generator {
+	t.Helper()
+	g, err := trace.NewGenerator(s, seed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFanReadersMatchSoloStream drives one fan with three concurrent
+// readers, each on a different read path — zero-copy slices, odd-sized
+// copying batches that straddle decode boundaries, and single records —
+// over a Replayer-backed stream. Every reader must observe the exact
+// record sequence a solo generator produces.
+func TestFanReadersMatchSoloStream(t *testing.T) {
+	const n = 2*chunkRecs + 1024
+	s := spec(t, "450.soplex")
+	c := NewCache(0)
+	src, err := c.Source(s, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := NewFan(src, 3, 0, nil)
+
+	check := func(got []trace.Record, at int, gen *trace.Generator, want []trace.Record) error {
+		if _, err := gen.NextBatch(want[:len(got)]); err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return errors.New("record diverged from solo generator")
+			}
+		}
+		_ = at
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+
+	// Reader 0: zero-copy slices.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := refGen(t, s, 42, 0)
+		want := make([]trace.Record, chunkRecs)
+		read := 0
+		for read < n {
+			view, err := fan.Reader(0).NextSlice()
+			if err != nil {
+				errs[0] = err
+				return
+			}
+			if errs[0] = check(view, read, gen, want); errs[0] != nil {
+				return
+			}
+			read += len(view)
+		}
+	}()
+
+	// Reader 1: copying batches sized to straddle every chunk boundary.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := refGen(t, s, 42, 0)
+		got := make([]trace.Record, 257)
+		want := make([]trace.Record, 257)
+		for read := 0; read < n; read += len(got) {
+			if _, err := fan.Reader(1).NextBatch(got); err != nil {
+				errs[1] = err
+				return
+			}
+			if errs[1] = check(got, read, gen, want); errs[1] != nil {
+				return
+			}
+		}
+	}()
+
+	// Reader 2: single-record reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := refGen(t, s, 42, 0)
+		var got, want trace.Record
+		for read := 0; read < n; read++ {
+			if err := fan.Reader(2).Next(&got); err != nil {
+				errs[2] = err
+				return
+			}
+			if err := gen.Next(&want); err != nil {
+				errs[2] = err
+				return
+			}
+			if got != want {
+				errs[2] = errors.New("record diverged from solo generator")
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", i, err)
+		}
+	}
+}
+
+// TestFanBarrierHoldsBackFastReader is the regression test for the
+// barrier arithmetic: a fast reader hammering the fan must never drive
+// the decode past a slow sibling that is still parked on a batch it has
+// not consumed. (The original bug counted parked readers instead of
+// readers that had consumed the current batch, so on a single-CPU
+// schedule the fast reader advanced the decode straight through the
+// slow one's unread generations.)
+func TestFanBarrierHoldsBackFastReader(t *testing.T) {
+	const batches, bs = 6, 2048
+	s := spec(t, "433.milc")
+	gen, err := trace.NewGenerator(s, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := NewFan(gen, 2, bs, nil)
+
+	var wg sync.WaitGroup
+	var fastErr, slowErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			if _, err := fan.Reader(0).NextSlice(); err != nil {
+				fastErr = err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ref := refGen(t, s, 7, 0)
+		want := make([]trace.Record, bs)
+		for i := 0; i < batches; i++ {
+			time.Sleep(2 * time.Millisecond) // stay behind the fast reader
+			view, err := fan.Reader(1).NextSlice()
+			if err != nil {
+				slowErr = err
+				return
+			}
+			if _, err := ref.NextBatch(want[:len(view)]); err != nil {
+				slowErr = err
+				return
+			}
+			for j := range view {
+				if view[j] != want[j] {
+					slowErr = errors.New("slow reader observed records past its consumption point")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if fastErr != nil || slowErr != nil {
+		t.Fatalf("fast=%v slow=%v", fastErr, slowErr)
+	}
+	if g := fan.Generations(); g != batches {
+		t.Errorf("fan decoded %d generations, want %d", g, batches)
+	}
+}
+
+// TestFanDetachMidStream detaches one of three readers mid-stream: the
+// survivors must keep receiving the unbroken stream, the detached
+// reader's future reads must fail with ErrDetached, and the fan must
+// switch decode buffers so the detached reader's stale view is never
+// overwritten.
+func TestFanDetachMidStream(t *testing.T) {
+	const batches, bs = 6, 1024
+	s := spec(t, "470.lbm")
+	gen, err := trace.NewGenerator(s, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := NewFan(gen, 3, bs, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	var stale []trace.Record
+	var staleCopy []trace.Record
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ref := refGen(t, s, 3, 0)
+			want := make([]trace.Record, bs)
+			total := batches
+			if r == 2 {
+				total = 2
+			}
+			var view []trace.Record
+			for i := 0; i < total; i++ {
+				var err error
+				view, err = fan.Reader(r).NextSlice()
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				if _, err := ref.NextBatch(want[:len(view)]); err != nil {
+					errs[r] = err
+					return
+				}
+				for j := range view {
+					if view[j] != want[j] {
+						errs[r] = errors.New("record diverged")
+						return
+					}
+				}
+			}
+			if r == 2 {
+				// Keep the last view and a copy: after Detach the fan must
+				// never mutate it under us.
+				stale = view
+				staleCopy = append([]trace.Record(nil), view...)
+				fan.Reader(2).Detach()
+				if _, err := fan.Reader(2).NextSlice(); !errors.Is(err, ErrDetached) {
+					errs[r] = errors.New("detached reader read past Detach")
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", r, err)
+		}
+	}
+	for i := range stale {
+		if stale[i] != staleCopy[i] {
+			t.Fatalf("detached reader's stale view was overwritten at record %d", i)
+		}
+	}
+}
+
+// TestFanRewindMidChunk rewinds one reader mid-batch: it must detach
+// onto a private source that restarts the stream from record zero while
+// its sibling keeps consuming the shared decode undisturbed.
+func TestFanRewindMidChunk(t *testing.T) {
+	const n = chunkRecs + 512
+	s := spec(t, "450.soplex")
+	c := NewCache(0)
+	src, err := c.Source(s, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() (trace.Source, error) { return c.Source(s, 11, 0) }
+	fan := NewFan(src, 2, 0, fresh)
+
+	var wg sync.WaitGroup
+	var shareErr, rewErr error
+
+	// Reader 0 consumes the shared stream to the end of the test window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ref := refGen(t, s, 11, 0)
+		got := make([]trace.Record, 257)
+		want := make([]trace.Record, 257)
+		for read := 0; read < n; read += len(got) {
+			if _, err := fan.Reader(0).NextBatch(got); err != nil {
+				shareErr = err
+				return
+			}
+			if _, err := ref.NextBatch(want); err != nil {
+				shareErr = err
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					shareErr = errors.New("shared reader diverged after sibling rewind")
+					return
+				}
+			}
+		}
+	}()
+
+	// Reader 1 reads partway into the first chunk, rewinds, and must see
+	// the stream again from record zero on its private source.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got := make([]trace.Record, 300)
+		if _, err := fan.Reader(1).NextBatch(got); err != nil {
+			rewErr = err
+			return
+		}
+		fan.Reader(1).Rewind()
+		ref := refGen(t, s, 11, 0)
+		want := make([]trace.Record, 300)
+		for read := 0; read < n; read += len(got) {
+			if _, err := fan.Reader(1).NextBatch(got); err != nil {
+				rewErr = err
+				return
+			}
+			if _, err := ref.NextBatch(want); err != nil {
+				rewErr = err
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					rewErr = errors.New("rewound reader diverged from stream start")
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	if shareErr != nil || rewErr != nil {
+		t.Fatalf("shared=%v rewound=%v", shareErr, rewErr)
+	}
+}
+
+// TestFanAbortUnparksReaders checks Abort delivers its error to a
+// reader parked at the barrier and to all subsequent reads.
+func TestFanAbortUnparksReaders(t *testing.T) {
+	s := spec(t, "433.milc")
+	gen, err := trace.NewGenerator(s, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := NewFan(gen, 2, 1024, nil)
+
+	boom := errors.New("group watchdog fired")
+	got := make(chan error, 1)
+	go func() {
+		_, err := fan.Reader(0).NextSlice() // parks: sibling never arrives
+		got <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	fan.Abort(boom)
+	select {
+	case err := <-got:
+		if !errors.Is(err, boom) {
+			t.Fatalf("parked reader unwound with %v, want the abort error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked reader never unwound after Abort")
+	}
+	if _, err := fan.Reader(1).NextSlice(); !errors.Is(err, boom) {
+		t.Fatalf("post-abort read returned %v, want the abort error", err)
+	}
+}
+
+// TestChaosFanCorruptChunkFailover shares one Replayer between two fan
+// readers and rots a sealed chunk: the replayer's generator failover
+// happens under the single shared decode, so both readers must still
+// observe the exact solo-generator stream — degraded, counted, never
+// wrong, and never diverging between siblings.
+func TestChaosFanCorruptChunkFailover(t *testing.T) {
+	const n = 2*chunkRecs + 1024
+	s := spec(t, "450.soplex")
+
+	fault.Enable(1)
+	fault.Set(fault.SiteReplayCorrupt, fault.Spec{Every: 1, After: 1, Limit: 1})
+	defer fault.Disable()
+
+	c := NewCache(0)
+	src, err := c.Source(s, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record (and rot) the window, then rewind for the shared replay.
+	rec := make([]trace.Record, 1024)
+	for read := 0; read < n; read += len(rec) {
+		if _, err := src.NextBatch(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.(trace.Rewinder).Rewind()
+
+	corruptBefore := telemetry.Degraded.ReplayCorruptChunks.Load()
+	fan := NewFan(src, 2, 0, nil)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ref := refGen(t, s, 42, 0)
+			got := make([]trace.Record, 257)
+			want := make([]trace.Record, 257)
+			for read := 0; read < n; read += len(got) {
+				if _, err := fan.Reader(r).NextBatch(got); err != nil {
+					errs[r] = err
+					return
+				}
+				if _, err := ref.NextBatch(want); err != nil {
+					errs[r] = err
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs[r] = errors.New("record diverged after corrupt-chunk failover")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", r, err)
+		}
+	}
+	if d := telemetry.Degraded.ReplayCorruptChunks.Load() - corruptBefore; d != 1 {
+		t.Errorf("ReplayCorruptChunks advanced by %d, want 1", d)
+	}
+}

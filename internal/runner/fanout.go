@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Fan-out phase: before the per-run worker pool starts, the orchestrator
+// groups pending configs that share a primary record stream
+// (sim.FanGroupKey) and runs each group through sim.RunFanGroup — one
+// trace decode feeding every point. Points that fail inside a group
+// (chaos panic, stall, abort) fall back to the sequential pool, where
+// the normal retry/backoff policy applies; the fan-out phase itself
+// never consumes retry budget.
+//
+// Groups run one at a time: the fan barrier keeps a group's points
+// within one decoded batch of each other, so a group's concurrency
+// costs one simulator's private state per extra point rather than a
+// full worker, and running groups serially keeps the campaign's peak
+// footprint at one decode buffer regardless of Options.Workers.
+//
+// A group is only fanned when every member is actually pending. A
+// resumed campaign whose journal already covers part of a group leaves
+// a partial group whose remaining points run on the per-run path: the
+// journal was written by per-run attempts, and a resume should finish
+// the way it started rather than switch execution strategy mid-sweep.
+
+// fanGroups partitions the pending indices into fan-out groups and the
+// indices that stay on the sequential path. cfgs' indices are grouped
+// by FanGroupKey over all keyed configs; a group is returned only when
+// it has at least two members, all of them pending.
+func fanGroups(cfgs []sim.Config, keys []string, pending []int, resumed func(int) bool) (groups [][]int, rest []int) {
+	pend := make(map[int]bool, len(pending))
+	for _, i := range pending {
+		pend[i] = true
+	}
+	byKey := make(map[string][]int)
+	var order []string
+	for i, cfg := range cfgs {
+		if keys[i] == "" {
+			continue // unhashable: already failed up front
+		}
+		k, err := sim.FanGroupKey(cfg)
+		if err != nil {
+			continue // the sequential path will surface the same error
+		}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	grouped := make(map[int]bool)
+	for _, k := range order {
+		g := byKey[k]
+		if len(g) < 2 {
+			continue
+		}
+		whole := true
+		for _, i := range g {
+			if !pend[i] || resumed(i) {
+				whole = false
+				break
+			}
+		}
+		if !whole {
+			continue
+		}
+		groups = append(groups, g)
+		for _, i := range g {
+			grouped[i] = true
+		}
+	}
+	for _, i := range pending {
+		if !grouped[i] {
+			rest = append(rest, i)
+		}
+	}
+	return groups, rest
+}
+
+// runFanPhase executes the fan-out groups and returns the indices still
+// pending for the sequential pool (non-grouped points plus fallbacks).
+func (o *Orchestrator) runFanPhase(ctx context.Context, cfgs []sim.Config, keys []string,
+	pending []int, out *Outcome, prog *telemetry.Progress, journal *Journal) []int {
+
+	groups, rest := fanGroups(cfgs, keys, pending, func(i int) bool {
+		return out.Results[i] != nil
+	})
+	for gi, g := range groups {
+		if ctx.Err() != nil {
+			// Cancelled mid-phase: the remaining groups' points drain
+			// through the sequential pool's cancellation accounting.
+			rest = append(rest, g...)
+			continue
+		}
+		gcfgs := make([]sim.Config, len(g))
+		for j, i := range g {
+			c := cfgs[i]
+			if c.Streams == nil {
+				c.Streams = o.opts.Streams
+			}
+			gcfgs[j] = c
+		}
+		gctx := ctx
+		cancel := func() {}
+		if o.opts.Timeout > 0 {
+			// The group shares one budget: a point's deadline is not
+			// meaningful in lockstep, so the group gets the sum.
+			gctx, cancel = context.WithTimeout(ctx, o.opts.Timeout*time.Duration(len(g)))
+		}
+		telemetry.Fanout.GroupsFormed.Add(1)
+		telemetry.Fanout.PointsFanned.Add(int64(len(g)))
+		telemetry.Fanout.DecodePasses.Add(1)
+		telemetry.Fanout.DecodePassesSaved.Add(int64(len(g) - 1))
+		pts := sim.RunFanGroup(gctx, gcfgs, o.opts.StallGrace)
+		cancel()
+
+		failed := 0
+		for j, pt := range pts {
+			i := g[j]
+			if pt.Err != nil {
+				failed++
+				telemetry.Fanout.FallbackPoints.Add(1)
+				o.logf("fan-out group %d: point %d (%s %s p=%g) fell back to sequential: %v",
+					gi, i, cfgs[i].Mode, cfgs[i].Workload, cfgs[i].PInduce, pt.Err)
+				rest = append(rest, i)
+				continue
+			}
+			out.Results[i] = pt.Res
+			out.Ran++
+			prog.RunCompleted()
+			if journal != nil {
+				if err := journal.Append(keys[i], pt.Res); err != nil {
+					prog.JournalError()
+					out.Failures = append(out.Failures, &RunError{
+						Index: i, Config: cfgs[i], Key: keys[i],
+						Attempts: 1, JournalOnly: true,
+						Err: fmt.Errorf("journaling result: %w", err),
+					})
+				}
+			}
+		}
+		if failed == len(g) {
+			telemetry.Fanout.GroupAborts.Add(1)
+		}
+	}
+	sort.Ints(rest)
+	return rest
+}

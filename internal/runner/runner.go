@@ -83,6 +83,14 @@ type Options struct {
 	// and replayed read-only by the rest. Results are byte-identical
 	// with or without it (the provider is excluded from config hashing).
 	Streams trace.SourceProvider
+	// Fanout enables one-decode sweep fan-out: pending configs that
+	// share a primary record stream (sim.FanGroupKey) are grouped and
+	// each group runs against a single trace decode (sim.RunFanGroup)
+	// before the per-run worker pool starts. Results are byte-identical
+	// to the sequential path; points that fail inside a group fall back
+	// to it, where the normal retry policy applies. Partial groups from
+	// a resumed journal and singleton groups always run per-run.
+	Fanout bool
 }
 
 // RunError describes one failed run of a campaign.
@@ -337,6 +345,15 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 				}
 			}
 		}()
+	}
+
+	if o.opts.Fanout && o.run == nil {
+		// Fan-out phase: grouped points run against one shared decode;
+		// whatever it could not place (singletons, partial resume groups,
+		// in-group failures) drains through the per-run pool below. Test
+		// harnesses that substitute o.run bypass it — a fan group runs
+		// the real simulator, not the injected stand-in.
+		pending = o.runFanPhase(ctx, cfgs, keys, pending, out, prog, journal)
 	}
 
 	workers := o.opts.Workers

@@ -596,7 +596,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// is preallocated here so steady-state collection stays off the
 	// heap, and it only observes counters, never the machine state.
 	res := &Result{Config: cfg}
-	sampler := newSampler(cfg, core0, hier)
+	sampler := newSampler(cfg, &core0.Instrs, &core0.Cycles, hier)
 	var col *telemetry.Collector
 	if cfg.TelemetryEvery > 0 {
 		col = telemetry.NewCollector(cfg.TelemetryEvery, cfg.ROIInstrs,
@@ -664,24 +664,34 @@ func telemetrySnap(core *cpu.Core, hier *cache.Hierarchy, engine *pinte.Engine) 
 }
 
 func fillResult(res *Result, core0 *cpu.Core, hier *cache.Hierarchy, engine *pinte.Engine, instrs0, cycles0 uint64) {
-	llc := hier.LLC().Stats
-	res.Instrs = core0.Instrs - instrs0
-	res.Cycles = core0.Cycles - cycles0
+	fillResultParts(res, core0.Instrs-instrs0, core0.Cycles-cycles0,
+		&core0.Stats, hier, hier, engine)
+}
+
+// fillResultParts computes the ROI aggregates from their raw inputs. The
+// private-level metrics (L1/L2 miss rates and MPKI) come from front, the
+// below-L2 metrics (LLC, AMAT, fill mix) from below: the sequential path
+// passes the same hierarchy twice, while a fan-out follower pairs the
+// group's shared front hierarchy with its own private LLC + memory.
+func fillResultParts(res *Result, instrs, cycles uint64, cst *cpu.Stats, front, below *cache.Hierarchy, engine *pinte.Engine) {
+	llc := below.LLC().Stats
+	res.Instrs = instrs
+	res.Cycles = cycles
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Instrs) / float64(res.Cycles)
 	}
 	res.MissRate = llc.MissRateCore(0)
-	res.AMAT = hier.AMAT(0)
+	res.AMAT = below.AMAT(0)
 	res.ContentionRate = llc.ContentionRate(0)
-	res.BranchAccuracy = core0.Stats.BranchAccuracy()
+	res.BranchAccuracy = cst.BranchAccuracy()
 	ki := float64(res.Instrs) / 1000
 	if ki > 0 {
-		res.L2MPKI = float64(hier.L2(0).Stats.Misses[0]) / ki
+		res.L2MPKI = float64(front.L2(0).Stats.Misses[0]) / ki
 		res.LLCMPKI = float64(llc.Misses[0]) / ki
 	}
-	fills := hier.Stats.LLCDemandFills + hier.Stats.LLCWritebackFills
+	fills := below.Stats.LLCDemandFills + below.Stats.LLCWritebackFills
 	if fills > 0 {
-		res.LLCWritebackFillShare = float64(hier.Stats.LLCWritebackFills) / float64(fills)
+		res.LLCWritebackFillShare = float64(below.Stats.LLCWritebackFills) / float64(fills)
 	}
 	res.ReuseHist = append([]uint64(nil), llc.ReuseHistCore[0]...)
 	if n := len(res.Samples); n > 0 {
@@ -695,19 +705,23 @@ func fillResult(res *Result, core0 *cpu.Core, hier *cache.Hierarchy, engine *pin
 		st := engine.Stats
 		res.Engine = &st
 	}
-	res.PrefetchIssued = hier.Stats.PrefetchIssued
-	res.PrefetchFromDRAM = hier.Stats.PrefetchFromDRAM
-	res.PrefetchUseful = hier.LLC().Stats.PrefetchUseful +
-		hier.L1D(0).Stats.PrefetchUseful + hier.L2(0).Stats.PrefetchUseful
-	res.L1DMissRate = hier.L1D(0).Stats.MissRateCore(0)
-	res.L2MissRate = hier.L2(0).Stats.MissRateCore(0)
+	res.PrefetchIssued = front.Stats.PrefetchIssued
+	res.PrefetchFromDRAM = front.Stats.PrefetchFromDRAM
+	res.PrefetchUseful = below.LLC().Stats.PrefetchUseful +
+		front.L1D(0).Stats.PrefetchUseful + front.L2(0).Stats.PrefetchUseful
+	res.L1DMissRate = front.L1D(0).Stats.MissRateCore(0)
+	res.L2MissRate = front.L2(0).Stats.MissRateCore(0)
 }
 
-// sampler computes interval deltas of cumulative counters.
+// sampler computes interval deltas of cumulative counters. It reads the
+// primary core's clocks through pointers so the fan-out executor, whose
+// followers keep their counts in plain locals rather than a cpu.Core,
+// can drive the identical sampling code.
 type sampler struct {
-	cfg  Config
-	core *cpu.Core
-	hier *cache.Hierarchy
+	cfg    Config
+	instrs *uint64
+	cycles *uint64
+	hier   *cache.Hierarchy
 
 	nextAt uint64
 	prev   snapshot
@@ -721,18 +735,18 @@ type snapshot struct {
 	dataAcc, dataLat   uint64
 }
 
-func newSampler(cfg Config, core *cpu.Core, hier *cache.Hierarchy) *sampler {
-	s := &sampler{cfg: cfg, core: core, hier: hier}
+func newSampler(cfg Config, instrs, cycles *uint64, hier *cache.Hierarchy) *sampler {
+	s := &sampler{cfg: cfg, instrs: instrs, cycles: cycles, hier: hier}
 	s.prev = s.snap()
-	s.nextAt = core.Instrs + cfg.SampleEvery
+	s.nextAt = *instrs + cfg.SampleEvery
 	return s
 }
 
 func (s *sampler) snap() snapshot {
 	llc := s.hier.LLC().Stats
 	return snapshot{
-		instrs:    s.core.Instrs,
-		cycles:    s.core.Cycles,
+		instrs:    *s.instrs,
+		cycles:    *s.cycles,
 		llcAcc:    llc.Accesses[0],
 		llcMiss:   llc.Misses[0],
 		theftsExp: llc.TheftsExperienced[0],
@@ -746,7 +760,7 @@ func (s *sampler) snap() snapshot {
 // maybeSample appends interval samples for every boundary the primary
 // core has crossed since the last call.
 func (s *sampler) maybeSample(out *[]Sample) {
-	if s.core.Instrs < s.nextAt {
+	if *s.instrs < s.nextAt {
 		return
 	}
 	cur := s.snap()

@@ -17,6 +17,17 @@ type Source interface {
 	Rewinder
 }
 
+// SliceReader is the zero-copy variant of BatchReader: NextSlice
+// returns a read-only view of the source's next decoded batch instead
+// of copying records into a caller buffer. The returned slice is valid
+// until the next NextSlice call on the same reader; callers must not
+// mutate it (fan-out readers share one decode across many consumers).
+// A return of (nil, io.EOF) ends the stream; an empty slice with a
+// non-EOF error reports a read failure, exactly as BatchReader does.
+type SliceReader interface {
+	NextSlice() ([]Record, error)
+}
+
 // SourceProvider resolves the instruction stream for one core of a
 // simulation. The synthetic generator is the default provider; a
 // record/replay cache (internal/replay) substitutes recorded streams so

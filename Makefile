@@ -3,8 +3,10 @@
 # telemetry-enabled golden determinism check and the AllocsPerRun == 0
 # collector guard), a race-checked run of the concurrent execution
 # stack (internal/sim + internal/runner + internal/telemetry +
-# internal/replay + internal/fault), and the chaos suite (fault matrix +
-# crash-recovery property test, race-enabled).
+# internal/replay + internal/fault), the chaos suite (fault matrix +
+# crash-recovery property tests, race-enabled — including the SIGKILL
+# restart-and-resume property test against a real pinted process), and
+# the race-enabled pinted service smoke (serve-check).
 
 GO ?= go
 
@@ -21,9 +23,9 @@ BENCHOUT ?= BENCH_$(shell date +%F).json
 BENCHBASE ?= $(shell git ls-files 'BENCH_*.json' | grep -v "^$(BENCHOUT)$$" | sort | tail -1)
 BENCHTOL ?= 1.0
 
-.PHONY: ci fmt vet build test race replay-check chaos bench bench-smoke
+.PHONY: ci fmt vet build test race replay-check chaos serve-check bench bench-smoke
 
-ci: fmt vet build test race chaos replay-check bench-smoke
+ci: fmt vet build test race chaos replay-check serve-check bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -51,7 +53,16 @@ race:
 chaos:
 	$(GO) test -race -count=1 \
 		-run 'Chaos|Watchdog|Backoff|Compact|Corrupt|Evict|SourceSite|FuzzLoadJournal|TestFault|TestParse|TestApply' \
-		./internal/fault/... ./internal/runner/... ./internal/replay/...
+		./internal/fault/... ./internal/runner/... ./internal/replay/... \
+		./internal/server/...
+
+# Service smoke gate, race-enabled: the pinted lifecycle/admission/
+# fairness/drain suite, including two concurrent tiny campaigns from
+# different tenants completing fairly and a drain-checkpoint-resume
+# round trip.
+serve-check:
+	$(GO) test -race -count=1 -run 'TestServe|TestQuota|TestSweepSpec' \
+		./internal/server/...
 
 # Replay-cache and fan-out determinism gate: cached runs must be
 # byte-identical to generated runs and to the committed goldens, and

@@ -39,7 +39,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/replay"
 	"repro/internal/runner"
-	"repro/internal/sim"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -101,21 +101,14 @@ func main() {
 		}
 	}
 
-	// Isolation baselines first, then the sweep grid.
-	var cfgs []sim.Config
-	for _, w := range names {
-		cfgs = append(cfgs, sim.Config{
-			Workload: w, WarmupInstrs: *warmup, ROIInstrs: *roi, Seed: *seed,
-		})
+	// Isolation baselines first, then the sweep grid — via the shared
+	// campaign spec, so the CLI and the pinted service expand the exact
+	// same submission to the exact same config list (and journal keys).
+	spec := server.SweepSpec{
+		Workloads: names, Points: sweep,
+		WarmupInstrs: *warmup, ROIInstrs: *roi, Seed: *seed,
 	}
-	for _, w := range names {
-		for _, p := range sweep {
-			cfgs = append(cfgs, sim.Config{
-				Mode: sim.PInTE, Workload: w, PInduce: p,
-				WarmupInstrs: *warmup, ROIInstrs: *roi, Seed: *seed,
-			})
-		}
-	}
+	cfgs := spec.Configs()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

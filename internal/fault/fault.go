@@ -58,6 +58,11 @@ const (
 	SiteWorkerPanic = "worker.panic" // the run panics
 	SiteWorkerHang  = "worker.hang"  // the run blocks, ignoring its context
 	SiteWorkerSlow  = "worker.slow"  // the run stalls for Spec.Delay first
+
+	// Campaign service (internal/server): service-layer faults.
+	SiteServerAdmit       = "server.admit"        // the admission check dies before reaching a verdict
+	SiteServerStreamWrite = "server.stream.write" // a result-stream write toward a client fails
+	SiteServerManifest    = "server.manifest"     // the durable manifest write fails
 )
 
 // ErrInjected is the sentinel every injected error wraps; chaos tests

@@ -4,25 +4,32 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
-// Fan-out phase: before the per-run worker pool starts, the orchestrator
+// Fan-out phase: before the per-run execution starts, the orchestrator
 // groups pending configs that share a primary record stream
 // (sim.FanGroupKey) and runs each group through sim.RunFanGroup — one
 // trace decode feeding every point. Points that fail inside a group
-// (chaos panic, stall, abort) fall back to the sequential pool, where
-// the normal retry/backoff policy applies; the fan-out phase itself
-// never consumes retry budget.
+// (chaos panic, stall, abort) fall back to the per-run path carrying
+// one prior attempt, so they re-enter the normal retry/backoff ladder
+// at the next rung instead of retrying immediately; the fan-out phase
+// itself never consumes per-run retry budget.
 //
-// Groups run one at a time: the fan barrier keeps a group's points
-// within one decoded batch of each other, so a group's concurrency
-// costs one simulator's private state per extra point rather than a
-// full worker, and running groups serially keeps the campaign's peak
-// footprint at one decode buffer regardless of Options.Workers.
+// With no shared pool, groups run one at a time: the fan barrier keeps
+// a group's points within one decoded batch of each other, so a group's
+// concurrency costs one simulator's private state per extra point
+// rather than a full worker, and running groups serially keeps the
+// campaign's peak footprint at one decode buffer regardless of
+// Options.Workers. On a shared pool (the campaign service), each group
+// is one weighted-queue task — one worker slot per group — so
+// concurrent campaigns' groups interleave under fair scheduling and a
+// draining pool sheds not-yet-started groups back to the journal-pending
+// state while in-flight groups finish and checkpoint.
 //
 // A group is only fanned when every member is actually pending. A
 // resumed campaign whose journal already covers part of a group leaves
@@ -33,8 +40,11 @@ import (
 // fanGroups partitions the pending indices into fan-out groups and the
 // indices that stay on the sequential path. cfgs' indices are grouped
 // by FanGroupKey over all keyed configs; a group is returned only when
-// it has at least two members, all of them pending.
-func fanGroups(cfgs []sim.Config, keys []string, pending []int, resumed func(int) bool) (groups [][]int, rest []int) {
+// it has at least two members, all of them pending. maxGroup >= 2 caps
+// group size (load shedding): oversized groups are split into chunks of
+// at most maxGroup points, and a leftover singleton rides the per-run
+// path.
+func fanGroups(cfgs []sim.Config, keys []string, pending []int, maxGroup int, resumed func(int) bool) (groups [][]int, rest []int) {
 	pend := make(map[int]bool, len(pending))
 	for _, i := range pending {
 		pend[i] = true
@@ -70,9 +80,20 @@ func fanGroups(cfgs []sim.Config, keys []string, pending []int, resumed func(int
 		if !whole {
 			continue
 		}
-		groups = append(groups, g)
-		for _, i := range g {
-			grouped[i] = true
+		for len(g) >= 2 {
+			n := len(g)
+			if maxGroup >= 2 && n > maxGroup {
+				n = maxGroup
+			}
+			if n < 2 {
+				break
+			}
+			chunk := g[:n]
+			g = g[n:]
+			groups = append(groups, chunk)
+			for _, i := range chunk {
+				grouped[i] = true
+			}
 		}
 	}
 	for _, i := range pending {
@@ -83,72 +104,124 @@ func fanGroups(cfgs []sim.Config, keys []string, pending []int, resumed func(int
 	return groups, rest
 }
 
-// runFanPhase executes the fan-out groups and returns the indices still
-// pending for the sequential pool (non-grouped points plus fallbacks).
+// runFanPhase executes the fan-out groups — serially when q is nil, as
+// one shared-pool task per group otherwise — and returns the indices
+// still pending for the per-run path (non-grouped points plus
+// fallbacks, plus whole groups shed by a draining pool).
 func (o *Orchestrator) runFanPhase(ctx context.Context, cfgs []sim.Config, keys []string,
-	pending []int, out *Outcome, prog *telemetry.Progress, journal *Journal) []int {
+	pending []int, prior []int, out *Outcome, mu *sync.Mutex,
+	prog *telemetry.Progress, journal *Journal, q *Queue) []int {
 
-	groups, rest := fanGroups(cfgs, keys, pending, func(i int) bool {
+	groups, rest := fanGroups(cfgs, keys, pending, o.opts.FanMaxGroup, func(i int) bool {
 		return out.Results[i] != nil
 	})
-	for gi, g := range groups {
-		if ctx.Err() != nil {
-			// Cancelled mid-phase: the remaining groups' points drain
-			// through the sequential pool's cancellation accounting.
-			rest = append(rest, g...)
-			continue
-		}
-		gcfgs := make([]sim.Config, len(g))
-		for j, i := range g {
-			c := cfgs[i]
-			if c.Streams == nil {
-				c.Streams = o.opts.Streams
-			}
-			gcfgs[j] = c
-		}
-		gctx := ctx
-		cancel := func() {}
-		if o.opts.Timeout > 0 {
-			// The group shares one budget: a point's deadline is not
-			// meaningful in lockstep, so the group gets the sum.
-			gctx, cancel = context.WithTimeout(ctx, o.opts.Timeout*time.Duration(len(g)))
-		}
-		telemetry.Fanout.GroupsFormed.Add(1)
-		telemetry.Fanout.PointsFanned.Add(int64(len(g)))
-		telemetry.Fanout.DecodePasses.Add(1)
-		telemetry.Fanout.DecodePassesSaved.Add(int64(len(g) - 1))
-		pts := sim.RunFanGroup(gctx, gcfgs, o.opts.StallGrace)
-		cancel()
-
-		failed := 0
-		for j, pt := range pts {
-			i := g[j]
-			if pt.Err != nil {
-				failed++
-				telemetry.Fanout.FallbackPoints.Add(1)
-				o.logf("fan-out group %d: point %d (%s %s p=%g) fell back to sequential: %v",
-					gi, i, cfgs[i].Mode, cfgs[i].Workload, cfgs[i].PInduce, pt.Err)
-				rest = append(rest, i)
+	if q == nil {
+		for gi, g := range groups {
+			if ctx.Err() != nil {
+				// Cancelled mid-phase: the remaining groups' points drain
+				// through the per-run path's cancellation accounting.
+				rest = append(rest, g...)
 				continue
 			}
-			out.Results[i] = pt.Res
-			out.Ran++
-			prog.RunCompleted()
-			if journal != nil {
-				if err := journal.Append(keys[i], pt.Res); err != nil {
-					prog.JournalError()
-					out.Failures = append(out.Failures, &RunError{
-						Index: i, Config: cfgs[i], Key: keys[i],
-						Attempts: 1, JournalOnly: true,
-						Err: fmt.Errorf("journaling result: %w", err),
-					})
+			rest = append(rest, o.runFanGroup(ctx, gi, g, cfgs, keys, prior, out, mu, prog, journal)...)
+		}
+	} else {
+		var rmu sync.Mutex
+		var wg sync.WaitGroup
+		for gi, g := range groups {
+			gi, g := gi, g
+			wg.Add(1)
+			q.Submit(func(shed bool) {
+				defer wg.Done()
+				if shed || ctx.Err() != nil {
+					// A shed or cancelled group never attempted its
+					// points: they re-enter the per-run path at rung 0,
+					// where drain/cancel accounting applies.
+					rmu.Lock()
+					rest = append(rest, g...)
+					rmu.Unlock()
+					return
 				}
-			}
+				fb := o.runFanGroup(ctx, gi, g, cfgs, keys, prior, out, mu, prog, journal)
+				if len(fb) > 0 {
+					rmu.Lock()
+					rest = append(rest, fb...)
+					rmu.Unlock()
+				}
+			})
 		}
-		if failed == len(g) {
-			telemetry.Fanout.GroupAborts.Add(1)
-		}
+		wg.Wait()
 	}
 	sort.Ints(rest)
 	return rest
+}
+
+// runFanGroup executes one fan-out group and returns the indices that
+// failed in-group and must fall back to the per-run path. Fallback
+// points carry one prior attempt so the per-run executor re-enters the
+// backoff ladder instead of retrying immediately.
+func (o *Orchestrator) runFanGroup(ctx context.Context, gi int, g []int, cfgs []sim.Config, keys []string,
+	prior []int, out *Outcome, mu *sync.Mutex, prog *telemetry.Progress, journal *Journal) (fallback []int) {
+
+	gcfgs := make([]sim.Config, len(g))
+	for j, i := range g {
+		c := cfgs[i]
+		if c.Streams == nil {
+			c.Streams = o.opts.Streams
+		}
+		gcfgs[j] = c
+	}
+	gctx := ctx
+	cancel := func() {}
+	if o.opts.Timeout > 0 {
+		// The group shares one budget: a point's deadline is not
+		// meaningful in lockstep, so the group gets the sum.
+		gctx, cancel = context.WithTimeout(ctx, o.opts.Timeout*time.Duration(len(g)))
+	}
+	telemetry.Fanout.GroupsFormed.Add(1)
+	telemetry.Fanout.PointsFanned.Add(int64(len(g)))
+	telemetry.Fanout.DecodePasses.Add(1)
+	telemetry.Fanout.DecodePassesSaved.Add(int64(len(g) - 1))
+	pts := sim.RunFanGroup(gctx, gcfgs, o.opts.StallGrace)
+	cancel()
+
+	failed := 0
+	for j, pt := range pts {
+		i := g[j]
+		if pt.Err != nil {
+			failed++
+			telemetry.Fanout.FallbackPoints.Add(1)
+			o.logf("fan-out group %d: point %d (%s %s p=%g) fell back to sequential: %v",
+				gi, i, cfgs[i].Mode, cfgs[i].Workload, cfgs[i].PInduce, pt.Err)
+			// Each index belongs to exactly one group, so prior[i] is
+			// written by exactly one goroutine.
+			prior[i]++
+			fallback = append(fallback, i)
+			continue
+		}
+		mu.Lock()
+		out.Results[i] = pt.Res
+		out.Ran++
+		mu.Unlock()
+		prog.RunCompleted()
+		if o.opts.OnResult != nil {
+			o.opts.OnResult(i, keys[i], pt.Res, false)
+		}
+		if journal != nil {
+			if err := journal.Append(keys[i], pt.Res); err != nil {
+				prog.JournalError()
+				mu.Lock()
+				out.Failures = append(out.Failures, &RunError{
+					Index: i, Config: cfgs[i], Key: keys[i],
+					Attempts: 1, JournalOnly: true,
+					Err: fmt.Errorf("journaling result: %w", err),
+				})
+				mu.Unlock()
+			}
+		}
+	}
+	if failed == len(g) {
+		telemetry.Fanout.GroupAborts.Add(1)
+	}
+	return fallback
 }

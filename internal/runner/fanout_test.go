@@ -225,3 +225,80 @@ func TestChaosFanoutWorkerHang(t *testing.T) {
 		t.Errorf("fallback_points moved by %d, want %d", d["fallback_points"], len(cfgs))
 	}
 }
+
+// TestFanoutFallbackReentersBackoffLadder is the regression test for
+// the fallback retry policy: a point that fails inside a fan-out group
+// must NOT retry immediately on the per-run path — it re-enters the
+// normal backoff ladder at rung 1 (measured on the fake clock), keeps
+// its original seed for the fallback attempt, and still produces a
+// result byte-identical to a sequential campaign.
+func TestFanoutFallbackReentersBackoffLadder(t *testing.T) {
+	cfgs := []sim.Config{
+		tinyCfg("453.povray", 0.05),
+		tinyCfg("453.povray", 0.3),
+		tinyCfg("453.povray", 0.7),
+	}
+	ref, err := New(Options{Workers: 1}).RunAll(context.Background(), cfgs)
+	if err != nil || len(ref.Failures) != 0 {
+		t.Fatalf("reference campaign: err=%v failures=%v", err, ref.Failures)
+	}
+
+	// The three followers are hits 1-3 of the panic site; after=2 with
+	// limit=1 kills exactly one point inside the group and nothing
+	// afterwards, so the fallback's own attempt succeeds.
+	if err := fault.Apply("seed=1;worker.panic:every=1,after=2,limit=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disable()
+
+	base := 50 * time.Millisecond
+	var slept []time.Duration
+	o := New(Options{Workers: 1, Fanout: true, Retries: 2, Backoff: base})
+	o.sleep = func(ctx context.Context, d time.Duration) { slept = append(slept, d) }
+	out, err := o.RunAll(context.Background(), cfgs)
+	if err != nil || len(out.Failures) != 0 {
+		t.Fatalf("fan-out campaign: err=%v failures=%v", err, out.Failures)
+	}
+	for i := range cfgs {
+		if out.Results[i] == nil || fingerprint(out.Results[i]) != fingerprint(ref.Results[i]) {
+			t.Errorf("config %d lost or diverged through the fallback path", i)
+		}
+	}
+	if len(slept) != 1 {
+		t.Fatalf("fallback slept %d times (%v), want exactly 1 backoff pause", len(slept), slept)
+	}
+	if want := backoffDelay(base, 0, 1, cfgs[0].Seed); slept[0] != want {
+		t.Errorf("fallback slept %v, want the ladder's rung-1 delay %v", slept[0], want)
+	}
+}
+
+// TestFanoutMaxGroupSplit checks FanMaxGroup (the service's
+// load-shedding knob) splits an oversized group into capped chunks and
+// leaves a leftover singleton to the per-run path, without changing any
+// result.
+func TestFanoutMaxGroupSplit(t *testing.T) {
+	var cfgs []sim.Config
+	for _, p := range []float64{0.05, 0.1, 0.3, 0.5, 0.7} {
+		cfgs = append(cfgs, tinyCfg("453.povray", p))
+	}
+	ref, err := New(Options{Workers: 1}).RunAll(context.Background(), cfgs)
+	if err != nil || len(ref.Failures) != 0 {
+		t.Fatalf("reference campaign: err=%v failures=%v", err, ref.Failures)
+	}
+	var out *Outcome
+	d := fanoutDelta(func() {
+		out, err = New(Options{Workers: 1, Fanout: true, FanMaxGroup: 2}).RunAll(context.Background(), cfgs)
+	})
+	if err != nil || len(out.Failures) != 0 {
+		t.Fatalf("capped campaign: err=%v failures=%v", err, out.Failures)
+	}
+	if d["groups_formed"] != 2 || d["points_fanned"] != 4 {
+		t.Errorf("groups=%d points=%d, want 2 capped groups over 4 points (singleton per-run)",
+			d["groups_formed"], d["points_fanned"])
+	}
+	for i := range cfgs {
+		if out.Results[i] == nil || fingerprint(out.Results[i]) != fingerprint(ref.Results[i]) {
+			t.Errorf("config %d diverged under a capped fan group", i)
+		}
+	}
+}

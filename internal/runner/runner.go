@@ -91,6 +91,39 @@ type Options struct {
 	// to it, where the normal retry policy applies. Partial groups from
 	// a resumed journal and singleton groups always run per-run.
 	Fanout bool
+	// FanMaxGroup caps a fan-out group's size; oversized groups are
+	// split into chunks of at most this many points. The campaign
+	// service sets it on campaigns admitted under load shedding — a
+	// smaller group costs more decode passes but a smaller peak
+	// footprint — before refusing work outright. 0 means unlimited;
+	// values below 2 are treated as unlimited (a 1-point "group" is
+	// just the per-run path).
+	FanMaxGroup int
+	// Pool, when non-nil, executes the campaign on a shared
+	// multi-campaign worker pool instead of workers owned by this
+	// orchestrator: every run (and every fan-out group) becomes one
+	// task on a weighted queue tagged Tenant/Weight, so concurrent
+	// campaigns interleave under stride fair scheduling and per-tenant
+	// concurrency caps. Workers is ignored in pool mode. Tasks shed by
+	// a draining pool are recorded as ErrCanceled, leaving them pending
+	// in the journal for the next resume.
+	Pool *Pool
+	// Tenant tags the campaign's pool queue for per-tenant caps;
+	// Weight is its fair-share weight (minimum 1). Both are ignored
+	// without Pool.
+	Tenant string
+	Weight int
+	// CampaignID, when non-empty, registers the campaign's live
+	// progress in the telemetry campaign registry (expvar
+	// "pinte.campaigns") instead of the process-wide last-campaign-wins
+	// "pinte.campaign" slot. The service unregisters it when the
+	// campaign is finalized.
+	CampaignID string
+	// OnResult observes every completed result: resumed journal entries
+	// first (fromJournal=true, in input order), then live completions
+	// as they happen. Called without internal locks held; must be safe
+	// for concurrent use.
+	OnResult func(index int, key string, res *sim.Result, fromJournal bool)
 }
 
 // RunError describes one failed run of a campaign.
@@ -284,7 +317,11 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 	}
 
 	prog := telemetry.NewProgress(len(cfgs), time.Now())
-	prog.Publish()
+	if o.opts.CampaignID != "" {
+		telemetry.RegisterCampaign(o.opts.CampaignID, prog)
+	} else {
+		prog.Publish()
+	}
 	for range out.Failures {
 		prog.RunFailed() // unhashable configs counted up front
 	}
@@ -320,12 +357,26 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		}
 	}
 
+	if o.opts.OnResult != nil {
+		for i := range cfgs {
+			if out.Results[i] != nil {
+				o.opts.OnResult(i, keys[i], out.Results[i], true)
+			}
+		}
+	}
+
 	var pending []int
 	for i := range cfgs {
 		if out.Results[i] == nil && keys[i] != "" {
 			pending = append(pending, i)
 		}
 	}
+
+	// prior[i] counts failed fan-out in-group attempts for config i, so
+	// a point that dies inside a group re-enters the per-run
+	// retry/backoff ladder at the next rung instead of retrying
+	// immediately.
+	prior := make([]int, len(cfgs))
 
 	// Heartbeats: a ticker goroutine snapshots the live progress and
 	// pushes one line per period through Logf, plus a final line when
@@ -347,79 +398,82 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		}()
 	}
 
+	var mu sync.Mutex
+	var q *Queue
+	if o.opts.Pool != nil {
+		q = o.opts.Pool.NewQueue(o.opts.Tenant, o.opts.Weight)
+		defer q.Close()
+	}
+
 	if o.opts.Fanout && o.run == nil {
 		// Fan-out phase: grouped points run against one shared decode;
 		// whatever it could not place (singletons, partial resume groups,
 		// in-group failures) drains through the per-run pool below. Test
 		// harnesses that substitute o.run bypass it — a fan group runs
 		// the real simulator, not the injected stand-in.
-		pending = o.runFanPhase(ctx, cfgs, keys, pending, out, prog, journal)
+		pending = o.runFanPhase(ctx, cfgs, keys, pending, prior, out, &mu, prog, journal, q)
 	}
 
-	workers := o.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var (
-		mu sync.Mutex
-		wg sync.WaitGroup
-	)
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res, attempts, rerr := o.runOne(ctx, i, cfgs[i], keys[i], prog)
-				mu.Lock()
-				out.Ran++
-				if rerr != nil {
-					out.Failures = append(out.Failures, rerr)
+	if q != nil {
+		// Shared-pool mode: one task per pending config on the
+		// campaign's weighted queue. A task shed by a draining pool is
+		// recorded as ErrCanceled — same accounting as an unscheduled
+		// config below — which leaves it pending in the journal for the
+		// next resume.
+		var wg sync.WaitGroup
+		for _, i := range pending {
+			i := i
+			wg.Add(1)
+			q.Submit(func(shed bool) {
+				defer wg.Done()
+				if shed || ctx.Err() != nil {
+					mu.Lock()
+					out.Failures = append(out.Failures, &RunError{
+						Index: i, Config: cfgs[i], Key: keys[i], Err: sim.ErrCanceled,
+					})
 					mu.Unlock()
 					prog.RunFailed()
-					continue
+					return
 				}
-				out.Results[i] = res
-				mu.Unlock()
-				prog.RunCompleted()
-				if journal != nil {
-					if err := journal.Append(keys[i], res); err != nil {
-						// The run itself succeeded and its result is
-						// kept in Results[i]; only the checkpoint was
-						// lost. Record it as a journal-only failure
-						// with the real attempt count so exit-code
-						// logic and reports stay truthful.
-						prog.JournalError()
-						mu.Lock()
-						out.Failures = append(out.Failures, &RunError{
-							Index: i, Config: cfgs[i], Key: keys[i],
-							Attempts: attempts, JournalOnly: true,
-							Err: fmt.Errorf("journaling result: %w", err),
-						})
-						mu.Unlock()
-					}
+				o.execOne(ctx, i, cfgs, keys, prior, out, &mu, prog, journal)
+			})
+		}
+		wg.Wait()
+	} else {
+		workers := o.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					o.execOne(ctx, i, cfgs, keys, prior, out, &mu, prog, journal)
 				}
+			}()
+		}
+		scheduled := len(pending)
+		for n, i := range pending {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				scheduled = n
 			}
-		}()
-	}
-	scheduled := len(pending)
-	for n, i := range pending {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			scheduled = n
+			if scheduled != len(pending) {
+				break
+			}
 		}
-		if scheduled != len(pending) {
-			break
+		close(idx)
+		wg.Wait()
+		for _, i := range pending[scheduled:] {
+			out.Failures = append(out.Failures, &RunError{
+				Index: i, Config: cfgs[i], Key: keys[i], Err: sim.ErrCanceled,
+			})
+			prog.RunFailed()
 		}
-	}
-	close(idx)
-	wg.Wait()
-	for _, i := range pending[scheduled:] {
-		out.Failures = append(out.Failures, &RunError{
-			Index: i, Config: cfgs[i], Key: keys[i], Err: sim.ErrCanceled,
-		})
-		prog.RunFailed()
 	}
 	if heartbeatDone != nil {
 		close(heartbeatDone)
@@ -431,11 +485,53 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 	return out, nil
 }
 
+// execOne runs one pending config end to end — retry ladder, result and
+// failure accounting, journal append, result callback — sharing the
+// campaign mutex with every other executor of the same campaign.
+func (o *Orchestrator) execOne(ctx context.Context, i int, cfgs []sim.Config, keys []string,
+	prior []int, out *Outcome, mu *sync.Mutex, prog *telemetry.Progress, journal *Journal) {
+	res, attempts, rerr := o.runOne(ctx, i, cfgs[i], keys[i], prior[i], prog)
+	mu.Lock()
+	out.Ran++
+	if rerr != nil {
+		out.Failures = append(out.Failures, rerr)
+		mu.Unlock()
+		prog.RunFailed()
+		return
+	}
+	out.Results[i] = res
+	mu.Unlock()
+	prog.RunCompleted()
+	if o.opts.OnResult != nil {
+		o.opts.OnResult(i, keys[i], res, false)
+	}
+	if journal != nil {
+		if err := journal.Append(keys[i], res); err != nil {
+			// The run itself succeeded and its result is kept in
+			// Results[i]; only the checkpoint was lost. Record it as a
+			// journal-only failure with the real attempt count so
+			// exit-code logic and reports stay truthful.
+			prog.JournalError()
+			mu.Lock()
+			out.Failures = append(out.Failures, &RunError{
+				Index: i, Config: cfgs[i], Key: keys[i],
+				Attempts: attempts, JournalOnly: true,
+				Err: fmt.Errorf("journaling result: %w", err),
+			})
+			mu.Unlock()
+		}
+	}
+}
+
 // runOne executes one config with the per-run deadline, panic capture
-// and bounded seed-perturbation retry policy applied. It returns the
-// attempt count alongside the result so journal-only failures can
-// carry it.
-func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, key string, prog *telemetry.Progress) (*sim.Result, int, *RunError) {
+// and bounded seed-perturbation retry policy applied. prior counts
+// failed attempts already consumed elsewhere (a fan-out in-group
+// failure): they advance the backoff ladder and the reported attempt
+// count, but not the seed ladder — the first per-run attempt keeps the
+// original seed, so a clean fallback stays byte-identical to a
+// sequential run. It returns the total attempt count alongside the
+// result so journal-only failures can carry it.
+func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, key string, prior int, prog *telemetry.Progress) (*sim.Result, int, *RunError) {
 	runFn := o.run
 	if runFn == nil {
 		runFn = sim.RunContext
@@ -467,11 +563,21 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		if c.Streams == nil {
 			c.Streams = o.opts.Streams
 		}
-		if attempts > 0 {
-			prog.Retried()
-			o.logf("retry %d/%d for run %d (%s %s): %v; perturbed seed %d",
-				attempts, o.opts.Retries, index, cfg.Mode, cfg.Workload, err, c.Seed)
-			if d := backoffDelay(o.opts.Backoff, o.opts.BackoffMax, attempts, cfg.Seed); d > 0 {
+		// ladder is this attempt's rung on the retry/backoff ladder:
+		// per-run retries plus any failed in-group fan-out attempt, so
+		// a fallback waits out the same backoff a plain retry would.
+		ladder := prior + attempts
+		if ladder > 0 {
+			if attempts > 0 {
+				prog.Retried()
+				o.logf("retry %d/%d for run %d (%s %s): %v; perturbed seed %d",
+					attempts, o.opts.Retries, index, cfg.Mode, cfg.Workload, err, c.Seed)
+			} else {
+				prog.Retried()
+				o.logf("run %d (%s %s) re-enters the backoff ladder at rung %d after an in-group failure",
+					index, cfg.Mode, cfg.Workload, ladder)
+			}
+			if d := backoffDelay(o.opts.Backoff, o.opts.BackoffMax, ladder, cfg.Seed); d > 0 {
 				sleep := o.sleep
 				if sleep == nil {
 					sleep = ctxSleep
@@ -494,7 +600,7 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		res, err = o.guardedCall(runFn, rctx, c)
 		cancel()
 		if err == nil {
-			return res, attempts, nil
+			return res, prior + attempts, nil
 		}
 		// Whole-campaign cancellation masquerades as a per-run error;
 		// never retry it, and report it under its own sentinel.
@@ -508,13 +614,13 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 	}
 	re := &RunError{
 		Index: index, Config: cfg, Key: key, Err: err,
-		WallTime: time.Since(start), Attempts: attempts,
+		WallTime: time.Since(start), Attempts: prior + attempts,
 	}
 	var pe *sim.PanicError
 	if errors.As(err, &pe) {
 		re.Stack = string(pe.Stack)
 	}
-	return nil, attempts, re
+	return nil, prior + attempts, re
 }
 
 // guardedCall runs one attempt under the stuck-run watchdog. With no

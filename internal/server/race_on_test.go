@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled lets timing-sensitive tests scale their workloads down
+// under the race detector's ~10x simulation slowdown.
+const raceEnabled = true

@@ -23,9 +23,9 @@ BENCHOUT ?= BENCH_$(shell date +%F).json
 BENCHBASE ?= $(shell git ls-files 'BENCH_*.json' | grep -v "^$(BENCHOUT)$$" | sort | tail -1)
 BENCHTOL ?= 1.0
 
-.PHONY: ci fmt vet build test race replay-check chaos serve-check bench bench-smoke
+.PHONY: ci fmt vet build test race replay-check sample-check chaos serve-check bench bench-smoke
 
-ci: fmt vet build test race chaos replay-check serve-check bench-smoke
+ci: fmt vet build test race chaos replay-check sample-check serve-check bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -72,6 +72,16 @@ serve-check:
 replay-check:
 	$(GO) test -count=1 -run 'TestReplayEquivalence|TestReplayMatchesGoldens|TestFanout' \
 		./internal/sim ./internal/runner
+
+# Phase-aware sampling gate, race-enabled: the clusterer's determinism
+# and selection tests, the sampled executor's full-window byte-identity
+# anchor, the phased-workload accuracy check (>= 5x fewer detailed
+# instructions with IPC / LLC MPKI / realized P_Induce inside the
+# plan's stated error bounds against the full-ROI run), the O(1) replay
+# seek, and the campaign-level savings and fallback tests.
+sample-check:
+	$(GO) test -race -count=1 -run 'TestSample|TestAnalyze|TestReplayerSkip|TestChaosSampled' \
+		./internal/phase ./internal/sim ./internal/runner ./internal/replay
 
 # One pass over every benchmark as a compile-and-run smoke; keeps the
 # hot-path benchmarks building and non-panicking without the cost of a

@@ -40,6 +40,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -64,6 +65,7 @@ func main() {
 		progEvery = flag.Duration("progress-every", 2*time.Second, "heartbeat period when -progress is set")
 		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB: each workload stream is generated once and replayed across all its sweep points (0 = off, regenerate per run)")
 		fanout    = flag.Bool("fanout", true, "run sweep points sharing a (workload, seed) stream in lockstep over one trace decode (results are byte-identical; failed points fall back to per-run execution)")
+		sample    = flag.Bool("sample", false, "phase-aware representative sampling: profile each workload once, cluster its execution phases, and simulate only one representative window per phase (approximate — extrapolated metrics carry error bounds; overrides -fanout)")
 	)
 	profOpts := prof.Flags(nil)
 	chaos := fault.Flag(nil)
@@ -107,6 +109,7 @@ func main() {
 	spec := server.SweepSpec{
 		Workloads: names, Points: sweep,
 		WarmupInstrs: *warmup, ROIInstrs: *roi, Seed: *seed,
+		Sample: *sample,
 	}
 	cfgs := spec.Configs()
 
@@ -133,7 +136,8 @@ func main() {
 		Logf:       log.Printf,
 		Progress:   heartbeat,
 		Streams:    streams,
-		Fanout:     *fanout,
+		Fanout:     *fanout && !*sample, // sampling supersedes fan-out; don't warn on the default
+		Sample:     *sample,
 	})
 	stopProf, err := profOpts.Start()
 	if err != nil {
@@ -149,6 +153,14 @@ func main() {
 	}
 	if streamCache != nil && *progress {
 		log.Printf("%s", streamCache.Snapshot())
+	}
+	if *sample {
+		ph := telemetry.PhaseSnapshot()
+		if tot := ph["instrs_simulated"] + ph["instrs_skipped"]; tot > 0 {
+			log.Printf("sampling: %d plans over %d profile(s); %d of %d instrs simulated in detail (%.1fx cut); %d fallback(s) to full-ROI runs",
+				ph["plans_built"], ph["profile_runs"], ph["instrs_simulated"], tot,
+				float64(tot)/float64(ph["instrs_simulated"]), ph["sampled_fallbacks"])
+		}
 	}
 	if fault.Enabled() {
 		log.Printf("%s", fault.Summary())

@@ -181,6 +181,74 @@ func (c *Core) Rewind() bool {
 	return true
 }
 
+// SkipInstrs fast-forwards the core's trace by up to n records without
+// simulating them: no cycles accrue, no cache or predictor state
+// changes, and Instrs stays put — callers account for skipped work
+// themselves. Buffered records are consumed first; a reader
+// implementing trace.Skipper then seeks directly (O(1) on a recorded
+// replay stream); anything else is read and discarded. Returns how
+// many records were skipped, short only when the trace ends.
+func (c *Core) SkipInstrs(n uint64) uint64 {
+	var skipped uint64
+	if avail := uint64(c.recLen - c.recPos); avail > 0 {
+		take := avail
+		if take > n {
+			take = n
+		}
+		c.recPos += int(take)
+		skipped += take
+	}
+	if sk, ok := c.reader.(trace.Skipper); ok && skipped < n && !c.done && c.err == nil {
+		got, err := sk.Skip(n - skipped)
+		skipped += got
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				c.done = true
+			} else {
+				c.err = err
+			}
+		}
+	}
+	for skipped < n && !c.done && c.err == nil {
+		want := n - skipped
+		var m int
+		var err error
+		switch {
+		case c.slice != nil:
+			var view []trace.Record
+			view, err = c.slice.NextSlice()
+			if m = len(view); uint64(m) > want {
+				// Keep the view's tail buffered for the next Step.
+				c.recs, c.recLen, c.recPos = view, m, int(want)
+				m = int(want)
+			}
+		case c.batch != nil:
+			if want > uint64(len(c.recs)) {
+				want = uint64(len(c.recs))
+			}
+			m, err = c.batch.NextBatch(c.recs[:want])
+		default:
+			err = c.reader.Next(&c.rec)
+			if err == nil {
+				m = 1
+			}
+		}
+		if m == 0 {
+			if err == nil || errors.Is(err, io.EOF) {
+				c.done = true
+			} else {
+				c.err = err
+			}
+			break
+		}
+		skipped += uint64(m)
+	}
+	// The fetch-block memo refers to the instruction before the seek;
+	// drop it so the first post-seek fetch walks the hierarchy.
+	c.fetchBlk = ^uint64(0)
+	return skipped
+}
+
 // Step executes up to n instructions and returns how many ran. It stops
 // early when the trace ends (Done becomes true) or a read error occurs.
 func (c *Core) Step(n uint64) uint64 {

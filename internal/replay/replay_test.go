@@ -291,3 +291,63 @@ func BenchmarkReplayNextBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(buf)), "instrs/op")
 }
+
+// TestReplayerSkip locks the seek contract phase-sampled runs depend
+// on: Skip(n) then read must equal read-and-discard n then read, both
+// behind the frontier (O(1) cursor advance) and at it (record-forward,
+// keeping the arenas dense for later readers).
+func TestReplayerSkip(t *testing.T) {
+	const skip, read = chunkRecs + 1000, 2048 // skip crosses an arena boundary
+	s := spec(t, "450.soplex")
+	c := NewCache(0)
+
+	// Reference: a generator discarded to the same position.
+	gen, err := trace.NewGenerator(s, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]trace.Record, read)
+	if err := discard(gen, skip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.NextBatch(want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1: skip at the frontier (nothing recorded yet).
+	src, err := c.Source(s, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]trace.Record, read)
+	if n, err := src.(trace.Skipper).Skip(skip); err != nil || n != skip {
+		t.Fatalf("frontier Skip = %d, %v", n, err)
+	}
+	if _, err := src.NextBatch(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("frontier-skip record %d diverged: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// Pass 2: the skip recorded forward, so a second reader replays the
+	// same region O(1) behind the frontier.
+	src2, err := c.Source(s, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := src2.(trace.Skipper).Skip(skip); err != nil || n != skip {
+		t.Fatalf("recorded Skip = %d, %v", n, err)
+	}
+	got2 := make([]trace.Record, read)
+	if _, err := src2.NextBatch(got2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got2[i] {
+			t.Fatalf("replay-skip record %d diverged: %+v != %+v", i, got2[i], want[i])
+		}
+	}
+}

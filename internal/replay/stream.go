@@ -521,6 +521,63 @@ func (r *Replayer) NextBatch(recs []trace.Record) (int, error) {
 	return len(recs), nil
 }
 
+// Skip implements trace.Skipper: it discards the next n records,
+// advancing the cursor in O(1) across the recorded region. Skipped
+// records are never decoded, so their chunks need no verification — a
+// recorded stream is by construction identical to the generator
+// stream, and corruption only matters for records actually consumed.
+// At the frontier, Skip records forward through a scratch buffer so
+// the arenas stay dense for every later reader; a failed-over replayer
+// discards through its generator.
+func (r *Replayer) Skip(n uint64) (uint64, error) {
+	total := n
+	if r.fb != nil {
+		return total, discard(r.fb, n)
+	}
+	var buf [512]trace.Record
+	for n > 0 {
+		if r.pos >= r.limit {
+			if r.refresh() {
+				continue
+			}
+			want := uint64(len(buf))
+			if want > n {
+				want = n
+			}
+			// A return of 0 means another reader recorded past us
+			// first; the refresh above will pick its records up.
+			got := uint64(r.s.record(r.pos, buf[:want]))
+			r.pos += got
+			n -= got
+			continue
+		}
+		step := r.limit - r.pos
+		if step > n {
+			step = n
+		}
+		r.pos += step
+		n -= step
+	}
+	return total, nil
+}
+
+// discard reads and drops n records from src.
+func discard(src trace.Source, n uint64) error {
+	var buf [512]trace.Record
+	for n > 0 {
+		want := uint64(len(buf))
+		if want > n {
+			want = n
+		}
+		got, err := src.NextBatch(buf[:want])
+		if err != nil {
+			return err
+		}
+		n -= uint64(got)
+	}
+	return nil
+}
+
 // Next implements trace.Reader.
 func (r *Replayer) Next(rec *trace.Record) error {
 	if r.fb != nil {

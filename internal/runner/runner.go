@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/phase"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -99,6 +100,20 @@ type Options struct {
 	// values below 2 are treated as unlimited (a 1-point "group" is
 	// just the per-run path).
 	FanMaxGroup int
+	// Sample enables phase-aware representative sampling: before the
+	// per-run pool starts, every distinct sample-eligible
+	// (workload, budgets, seed) projection among the pending configs
+	// gets one telemetry-only Isolation profile, the profile is
+	// clustered into a phase.Plan (internal/phase), and each member run
+	// then simulates only the plan's representative windows, reporting
+	// extrapolated metrics with error bounds in Result.Sampled. Configs
+	// that are not sample-eligible, members of a failed profile, and
+	// sampled attempts that fail at run time all fall back to the
+	// full-ROI path. Mutually exclusive with Fanout (fan groups run the
+	// full simulator in lockstep); sampling wins when both are set.
+	// Sampled results are approximations: do not mix Sample on and off
+	// across resumes of the same journal.
+	Sample bool
 	// Pool, when non-nil, executes the campaign on a shared
 	// multi-campaign worker pool instead of workers owned by this
 	// orchestrator: every run (and every fan-out group) becomes one
@@ -227,6 +242,10 @@ type Orchestrator struct {
 	// sleep waits out a backoff delay; tests substitute a fake clock.
 	// nil means a context-aware real sleep.
 	sleep func(ctx context.Context, d time.Duration)
+	// plans, built by runSamplePhase, is parallel to the RunAll input:
+	// a non-nil slot switches that config's attempts to phase-sampled
+	// execution (stripped again on a sampled failure's fallback).
+	plans []*phase.Plan
 }
 
 // New builds an orchestrator.
@@ -405,7 +424,15 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		defer q.Close()
 	}
 
-	if o.opts.Fanout && o.run == nil {
+	if o.opts.Sample && o.run == nil {
+		// Sample phase: profile, cluster and stamp sampling plans (see
+		// sample.go). Test harnesses that substitute o.run bypass it —
+		// a profile runs the real simulator, not the injected stand-in.
+		if o.opts.Fanout {
+			o.logf("sampling and fan-out both requested; sampling wins (fan groups run the full simulator)")
+		}
+		o.runSamplePhase(ctx, cfgs, pending, q)
+	} else if o.opts.Fanout && o.run == nil {
 		// Fan-out phase: grouped points run against one shared decode;
 		// whatever it could not place (singletons, partial resume groups,
 		// in-group failures) drains through the per-run pool below. Test
@@ -554,6 +581,15 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 			return inner(ctx, c)
 		}
 	}
+	// plan, when non-nil, runs this config's attempts in phase-sampled
+	// mode. A sampled attempt that fails strips the plan and re-runs the
+	// same attempt on the full-ROI path — a free retry with the same
+	// seed, so sampling can degrade the budget saving but never the
+	// campaign's outcome.
+	var plan *phase.Plan
+	if o.plans != nil {
+		plan = o.plans[index]
+	}
 	start := time.Now()
 	var err error
 	attempts := 0
@@ -563,6 +599,7 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		if c.Streams == nil {
 			c.Streams = o.opts.Streams
 		}
+		c.Sample = plan
 		// ladder is this attempt's rung on the retry/backoff ladder:
 		// per-run retries plus any failed in-group fan-out attempt, so
 		// a fallback waits out the same backoff a plain retry would.
@@ -607,6 +644,18 @@ func (o *Orchestrator) runOne(ctx context.Context, index int, cfg sim.Config, ke
 		if ctx.Err() != nil {
 			err = sim.ErrCanceled
 			break
+		}
+		if plan != nil {
+			// First sampled failure — whatever the cause (a poisoned
+			// plan, a trace too short for a seek, a chaos fault): strip
+			// the plan and repeat this attempt on the full-ROI path
+			// without consuming retry budget.
+			telemetry.Phase.SampledFallbacks.Add(1)
+			o.logf("run %d (%s %s p=%g): sampled attempt failed (%v); falling back to the full-ROI path",
+				index, cfg.Mode, cfg.Workload, cfg.PInduce, err)
+			plan = nil
+			attempts--
+			continue
 		}
 		if !sim.Retryable(err) {
 			break

@@ -61,6 +61,14 @@ type load struct {
 	runsPerSec float64
 }
 
+// journalRetryAfter is the fixed Retry-After for journal-budget
+// refusals. Queue drain never frees journal bytes — only deleting
+// finished campaigns does — so deriving the header from the completion
+// rate would promise a retry that cannot succeed. A flat one-minute
+// poll is honest: it assumes nothing about drain, just "check back
+// after you've deleted something".
+const journalRetryAfter = time.Minute
+
 // retryEstimate guesses how long until backlog runs have drained at
 // rate, clamped to [1s, 10m] so the header is always actionable: a cold
 // service with no measured rate suggests 5s rather than forever.
@@ -71,12 +79,15 @@ func retryEstimate(backlog int64, rate float64) time.Duration {
 	if rate <= 0 {
 		return 5 * time.Second
 	}
-	d := time.Duration(float64(backlog) / rate * float64(time.Second))
+	// Clamp in float seconds before converting: a large backlog at a
+	// slow rate overflows int64 nanoseconds and would wrap negative.
+	secs := float64(backlog) / rate
+	if secs > 600 {
+		return 10 * time.Minute
+	}
+	d := time.Duration(secs * float64(time.Second))
 	if d < time.Second {
 		d = time.Second
-	}
-	if d > 10*time.Minute {
-		d = 10 * time.Minute
 	}
 	return d
 }
@@ -100,10 +111,13 @@ func decide(q Quotas, l load, runs int) decision {
 		}
 	}
 	if q.JournalBytes > 0 && l.tenantJournalBytes > q.JournalBytes {
+		// Deliberately NOT retryEstimate: journal bytes are freed by
+		// deleting campaigns, not by queue drain, so a drain-derived
+		// estimate would be a promise the service cannot keep.
 		return decision{
 			status:     429,
 			reason:     fmt.Sprintf("tenant journal budget exceeded: %d bytes stored > %d (delete finished campaigns)", l.tenantJournalBytes, q.JournalBytes),
-			retryAfter: retryEstimate(l.tenantQueued, l.runsPerSec),
+			retryAfter: journalRetryAfter,
 		}
 	}
 	d := decision{admit: true}

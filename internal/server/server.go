@@ -280,6 +280,7 @@ func (s *Server) launch(c *campaign) {
 			Logf:        s.campaignLogf(c.meta.ID),
 			Fanout:      !s.cfg.NoFanout,
 			FanMaxGroup: c.meta.FanMaxGroup,
+			Sample:      c.meta.Spec.Sample,
 			Pool:        s.pool,
 			Tenant:      c.meta.Tenant,
 			Weight:      c.meta.Weight,

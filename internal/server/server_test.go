@@ -216,6 +216,38 @@ func TestServeCampaignLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeSampledCampaign runs a campaign submitted with
+// "sample": true end to end: the profiling pre-pass and every run flow
+// through the shared pool, each streamed result carries its sampling
+// stats and error bounds, and the journal replay preserves them.
+func TestServeSampledCampaign(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := tinySpec()
+	spec.Sample = true
+	st := submitOK(t, ts, "alice", spec)
+
+	live, final := streamResults(t, ts, st.ID)
+	if len(live) != 3 || final == nil || final["state"] != string(StateDone) {
+		t.Fatalf("sampled campaign streamed %d results, final %v", len(live), final)
+	}
+	for _, ev := range live {
+		if ev.Result.Sampled == nil {
+			t.Errorf("result %s has no sampling stats", ev.Key)
+			continue
+		}
+		if ev.Result.Sampled.InstrsSkipped == 0 {
+			t.Errorf("result %s skipped nothing — sampling did not engage", ev.Key)
+		}
+	}
+	waitState(t, ts, st.ID, StateDone)
+	replay, _ := streamResults(t, ts, st.ID)
+	for _, ev := range replay {
+		if ev.Result.Sampled == nil {
+			t.Errorf("journal replay of %s lost its sampling stats", ev.Key)
+		}
+	}
+}
+
 // wedge occupies every pool worker behind a gate, so a test can submit
 // campaigns and assert admission and queue state without racing their
 // execution. The returned release function frees the workers; it is

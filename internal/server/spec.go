@@ -41,6 +41,14 @@ type SweepSpec struct {
 	// means no campaign deadline. An expired deadline cancels the
 	// campaign's remaining runs (completed runs stay journaled).
 	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// Sample runs the campaign under phase-aware representative
+	// sampling (runner.Options.Sample): one profiling pre-pass per
+	// workload, then only the clustered representative windows are
+	// simulated per run, with extrapolation error bounds reported in
+	// each result's "sampled" block. Approximate by design; results are
+	// not byte-comparable with an unsampled campaign, so do not toggle
+	// it across resubmissions of the same campaign ID.
+	Sample bool `json:"sample,omitempty"`
 }
 
 // normalized returns the spec with every default resolved and the

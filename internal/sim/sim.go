@@ -23,6 +23,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/partition"
+	"repro/internal/phase"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -128,6 +129,16 @@ type Config struct {
 	// configuration, and is excluded from JSON so journal config keys,
 	// memo keys and golden outputs are unaffected.
 	Streams trace.SourceProvider `json:"-"`
+
+	// Sample, when non-nil, switches the run to phase-sampled execution:
+	// only the plan's representative windows are simulated in detail
+	// (each with its own short warmup) and full-ROI metrics are
+	// extrapolated as the cluster-weighted sum, with error bounds
+	// reported in Result.Sampled. Only SampleEligible configs may carry
+	// a plan. Like Streams, the field is runtime plumbing stamped by the
+	// orchestrator, not configuration: it is excluded from JSON so
+	// journal config keys, memo keys and golden outputs are unaffected.
+	Sample *phase.Plan `json:"-"`
 
 	// Seed drives every random stream in the run (generators, engine,
 	// randomised policies). Two runs with equal Config produce
@@ -286,6 +297,11 @@ type Result struct {
 	// Config.TelemetryEvery is non-zero; omitted from JSON otherwise.
 	Telemetry *telemetry.Series `json:",omitempty"`
 
+	// Sampled carries the phase-sampling budget and error bounds when
+	// the run executed under a Config.Sample plan; nil (and omitted
+	// from JSON) for full-ROI runs.
+	Sampled *SampleStats `json:",omitempty"`
+
 	// Engine carries PInTE engine statistics (PInTE mode only).
 	Engine *pinte.Stats
 	// DRAMInjection carries memory-side injection statistics when the
@@ -368,6 +384,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if ctx.Err() != nil {
 		return nil, ctxError(ctx)
+	}
+	if cfg.Sample != nil {
+		if !SampleEligible(cfg) {
+			return nil, fmt.Errorf("%w: config is not sample-eligible but carries a sampling plan", ErrBadConfig)
+		}
+		return runSampled(ctx, cfg)
 	}
 	start := time.Now()
 

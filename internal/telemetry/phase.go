@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// PhaseCounters is the process-wide tally of phase-aware representative
+// sampling (internal/phase + internal/sim + internal/runner): how many
+// profiling pre-passes ran, how many sampling plans were built and with
+// how many phases, and the instruction budget the sampled runs paid
+// versus skipped. Served on the expvar page as "pinte.phase" so a
+// campaign's operator can see the budget saved live —
+// InstrsSkipped / (InstrsSimulated + InstrsSkipped) is the fraction of
+// detailed simulation the phase model removed.
+type PhaseCounters struct {
+	// ProfileRuns counts telemetry-only profiling pre-passes executed;
+	// ProfileFailures counts pre-passes that failed (their member runs
+	// stay on the full-ROI path).
+	ProfileRuns     atomic.Int64
+	ProfileFailures atomic.Int64
+	// PlansBuilt counts sampling plans produced by the clusterer and
+	// PhasesFound the total phases across them.
+	PlansBuilt  atomic.Int64
+	PhasesFound atomic.Int64
+	// SampledRuns counts runs executed in sampled mode;
+	// SampledFallbacks counts sampled attempts that failed and were
+	// re-run on the full-ROI path.
+	SampledRuns      atomic.Int64
+	SampledFallbacks atomic.Int64
+	// IntervalsSimulated / IntervalsSkipped count profile intervals
+	// covered by a representative window versus reconstructed from one.
+	IntervalsSimulated atomic.Int64
+	IntervalsSkipped   atomic.Int64
+	// InstrsSimulated / InstrsSkipped count primary-core instructions
+	// executed in detail (window warmup + windows) versus fast-forwarded.
+	InstrsSimulated atomic.Int64
+	InstrsSkipped   atomic.Int64
+}
+
+// Phase is the process-wide instance the sampling stack reports into.
+var Phase PhaseCounters
+
+// PhaseSnapshot is one consistent-enough read of the counters.
+func PhaseSnapshot() map[string]int64 {
+	return map[string]int64{
+		"profile_runs":        Phase.ProfileRuns.Load(),
+		"profile_failures":    Phase.ProfileFailures.Load(),
+		"plans_built":         Phase.PlansBuilt.Load(),
+		"phases_found":        Phase.PhasesFound.Load(),
+		"sampled_runs":        Phase.SampledRuns.Load(),
+		"sampled_fallbacks":   Phase.SampledFallbacks.Load(),
+		"intervals_simulated": Phase.IntervalsSimulated.Load(),
+		"intervals_skipped":   Phase.IntervalsSkipped.Load(),
+		"instrs_simulated":    Phase.InstrsSimulated.Load(),
+		"instrs_skipped":      Phase.InstrsSkipped.Load(),
+	}
+}
+
+func init() {
+	expvar.Publish("pinte.phase", expvar.Func(func() any {
+		return PhaseSnapshot()
+	}))
+}

@@ -21,25 +21,46 @@ type Progress struct {
 	fromJournal    atomic.Int64 // runs satisfied from the resume journal
 	journalSkipped atomic.Int64 // corrupt journal lines dropped on load
 	journalErrors  atomic.Int64 // journal-only failures (result kept, append lost)
+
+	// doneAt is set exactly once, when the campaign first accounts for
+	// every run. Snapshot clamps its clock to it so Elapsed and
+	// RunsPerSec freeze at their final values instead of drifting as a
+	// finished campaign's expvar page keeps being scraped.
+	doneAt atomic.Pointer[time.Time]
 }
 
 // NewProgress starts tracking a campaign of total runs beginning at
 // start.
 func NewProgress(total int, start time.Time) *Progress {
-	return &Progress{total: int64(total), start: start}
+	p := &Progress{total: int64(total), start: start}
+	p.noteDone() // a zero-run campaign is born finished
+	return p
+}
+
+// noteDone freezes the completion timestamp the first time every run is
+// accounted for. Called after every mutation that can finish the
+// campaign; later calls are no-ops.
+func (p *Progress) noteDone() {
+	if p.doneAt.Load() != nil {
+		return
+	}
+	if p.completed.Load()+p.failed.Load()+p.fromJournal.Load() >= p.total {
+		now := time.Now()
+		p.doneAt.CompareAndSwap(nil, &now)
+	}
 }
 
 // RunCompleted records one successfully finished run.
-func (p *Progress) RunCompleted() { p.completed.Add(1) }
+func (p *Progress) RunCompleted() { p.completed.Add(1); p.noteDone() }
 
 // RunFailed records one run that exhausted its attempts.
-func (p *Progress) RunFailed() { p.failed.Add(1) }
+func (p *Progress) RunFailed() { p.failed.Add(1); p.noteDone() }
 
 // Retried records one retry attempt.
 func (p *Progress) Retried() { p.retried.Add(1) }
 
 // FromJournal records n runs satisfied from the resume journal.
-func (p *Progress) FromJournal(n int) { p.fromJournal.Add(int64(n)) }
+func (p *Progress) FromJournal(n int) { p.fromJournal.Add(int64(n)); p.noteDone() }
 
 // JournalSkipped records n corrupt journal lines dropped during resume.
 func (p *Progress) JournalSkipped(n int) { p.journalSkipped.Add(int64(n)) }
@@ -67,8 +88,14 @@ type Snapshot struct {
 	ETA time.Duration
 }
 
-// Snapshot captures the campaign state as of now.
+// Snapshot captures the campaign state as of now. Once the campaign
+// has finished, now is clamped to the completion instant so repeated
+// scrapes of a finished campaign report its final Elapsed and
+// RunsPerSec instead of a growing clock and a decaying rate.
 func (p *Progress) Snapshot(now time.Time) Snapshot {
+	if d := p.doneAt.Load(); d != nil && now.After(*d) {
+		now = *d
+	}
 	s := Snapshot{
 		Total:          p.total,
 		Completed:      p.completed.Load(),

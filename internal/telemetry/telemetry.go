@@ -100,7 +100,11 @@ type Collector struct {
 	capBlocks uint64
 	nextAt    uint64
 	prev      Counters
-	series    Series
+	// lastBase is the snapshot that opened the most recently appended
+	// interval; when the preallocated buffer is full, record coalesces
+	// the overflow into that interval instead of growing the slice.
+	lastBase Counters
+	series   Series
 }
 
 // NewCollector builds a collector sampling every `every` instructions
@@ -111,7 +115,7 @@ func NewCollector(every, roiInstrs, llcCapacityBlocks uint64, start Counters) *C
 	if every == 0 {
 		every = 1
 	}
-	c := &Collector{every: every, capBlocks: llcCapacityBlocks, prev: start}
+	c := &Collector{every: every, capBlocks: llcCapacityBlocks, prev: start, lastBase: start}
 	c.nextAt = start.Instrs + every
 	// +2: one slot for a final partial boundary, one for the tail flush.
 	c.series = Series{
@@ -128,7 +132,9 @@ func (c *Collector) NextAt() uint64 { return c.nextAt }
 
 // Record closes the current interval at snapshot cur and schedules the
 // next boundary. Callers gate on NextAt; calling early simply produces
-// a short interval.
+// a short interval. If early calls outrun the buffer preallocated for
+// roiInstrs/every boundaries, the newest samples coalesce into the last
+// interval — totals stay exact and no allocation happens.
 func (c *Collector) Record(cur Counters) {
 	c.record(cur)
 	c.nextAt = cur.Instrs + c.every
@@ -144,6 +150,13 @@ func (c *Collector) Tail(cur Counters) {
 }
 
 func (c *Collector) record(cur Counters) {
+	if ivs := c.series.Intervals; len(ivs) == cap(ivs) && len(ivs) > 0 {
+		// Buffer full: drop the last interval and rebuild it spanning
+		// from its own base to cur. Sums over the series stay exact;
+		// only the tail's time resolution degrades.
+		c.series.Intervals = ivs[:len(ivs)-1]
+		c.prev = c.lastBase
+	}
 	p := c.prev
 	iv := Interval{
 		EndInstrs: cur.Instrs,
@@ -168,6 +181,7 @@ func (c *Collector) record(cur Counters) {
 		iv.LLCOccupancyFrac = float64(cur.LLCOccupancy) / float64(c.capBlocks)
 	}
 	c.series.Intervals = append(c.series.Intervals, iv)
+	c.lastBase = p
 	c.prev = cur
 }
 

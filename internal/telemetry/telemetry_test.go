@@ -100,6 +100,54 @@ func TestCollectorRecordNoAllocs(t *testing.T) {
 	}
 }
 
+// TestCollectorRecordOverflowCoalesces pins the documented "calling
+// early simply produces a short interval" contract against the buffer
+// preallocation: Record calls arriving faster than the nominal rate
+// must neither allocate (the zero-alloc contract) nor lose counts —
+// the overflow coalesces into the final interval.
+func TestCollectorRecordOverflowCoalesces(t *testing.T) {
+	const every, roi = 100, 300 // capacity: 300/100+2 = 5 intervals
+	start := Counters{Instrs: 1000}
+	c := NewCollector(every, roi, 0, start)
+
+	i := uint64(0)
+	next := func() Counters {
+		i++
+		// Every call is "early": 10 instrs apart against a 100-instr
+		// nominal interval, so 20 calls want 20 slots from a 5-cap buffer.
+		return Counters{
+			Instrs: start.Instrs + i*10, Cycles: i * 20,
+			EngineAccesses: i * 3, EngineTriggers: i,
+		}
+	}
+	var last Counters
+	allocs := testing.AllocsPerRun(19, func() {
+		last = next()
+		c.Record(last)
+	})
+	if allocs != 0 {
+		t.Fatalf("early Record allocates %.1f times per sample, want 0", allocs)
+	}
+
+	s := c.Series()
+	if len(s.Intervals) > cap(s.Intervals) || cap(s.Intervals) != roi/every+2 {
+		t.Fatalf("buffer grew: len %d cap %d, want cap %d", len(s.Intervals), cap(s.Intervals), roi/every+2)
+	}
+	var instrs uint64
+	for _, iv := range s.Intervals {
+		instrs += iv.Instrs
+	}
+	if want := last.Instrs - start.Instrs; instrs != want {
+		t.Fatalf("interval instr sum = %d, want %d", instrs, want)
+	}
+	if end := s.Intervals[len(s.Intervals)-1].EndInstrs; end != last.Instrs {
+		t.Fatalf("final EndInstrs = %d, want %d", end, last.Instrs)
+	}
+	if acc, trig := s.TriggerTotals(); acc != last.EngineAccesses || trig != last.EngineTriggers {
+		t.Fatalf("TriggerTotals = %d/%d, want %d/%d", acc, trig, last.EngineAccesses, last.EngineTriggers)
+	}
+}
+
 func TestProgressSnapshot(t *testing.T) {
 	start := time.Unix(0, 0)
 	p := NewProgress(10, start)
@@ -140,6 +188,38 @@ func TestProgressSnapshot(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Errorf("heartbeat %q missing %q", line, want)
 		}
+	}
+}
+
+// TestProgressSnapshotFreezesAfterDone pins the expvar-staleness fix:
+// once every run is accounted for, later scrapes must report the final
+// Elapsed and RunsPerSec instead of a growing wall clock and a decaying
+// rate. Uses the real clock because completion is stamped internally.
+func TestProgressSnapshotFreezesAfterDone(t *testing.T) {
+	p := NewProgress(2, time.Now())
+	p.RunCompleted()
+	p.RunFailed()
+
+	s1 := p.Snapshot(time.Now().Add(time.Hour))
+	s2 := p.Snapshot(time.Now().Add(2 * time.Hour))
+	if !s1.Done() || !s2.Done() {
+		t.Fatalf("campaign not done: %+v / %+v", s1, s2)
+	}
+	if s1.Elapsed != s2.Elapsed {
+		t.Fatalf("Elapsed drifted after done: %v then %v", s1.Elapsed, s2.Elapsed)
+	}
+	if s1.RunsPerSec != s2.RunsPerSec || s1.RunsPerSec <= 0 {
+		t.Fatalf("RunsPerSec not frozen: %v then %v", s1.RunsPerSec, s2.RunsPerSec)
+	}
+	if s1.Elapsed > time.Minute {
+		t.Fatalf("Elapsed %v not clamped to completion time", s1.Elapsed)
+	}
+
+	// A campaign still in flight must keep using the caller's clock.
+	q := NewProgress(2, time.Now())
+	q.RunCompleted()
+	if a, b := q.Snapshot(time.Now().Add(time.Second)), q.Snapshot(time.Now().Add(2*time.Second)); a.Elapsed == b.Elapsed {
+		t.Fatalf("in-flight Elapsed frozen at %v", a.Elapsed)
 	}
 }
 

@@ -28,6 +28,16 @@ type SliceReader interface {
 	NextSlice() ([]Record, error)
 }
 
+// Skipper is an optional Source extension: Skip discards the next n
+// records more cheaply than reading them — a replayer advances its
+// cursor in O(1) within the recorded region. It returns the count
+// actually skipped (always n for infinite synthetic streams). Phase-
+// sampled simulation probes for it to seek to interval boundaries;
+// sources without it are skipped by reading and discarding.
+type Skipper interface {
+	Skip(n uint64) (uint64, error)
+}
+
 // SourceProvider resolves the instruction stream for one core of a
 // simulation. The synthetic generator is the default provider; a
 // record/replay cache (internal/replay) substitutes recorded streams so

@@ -23,9 +23,9 @@ BENCHOUT ?= BENCH_$(shell date +%F).json
 BENCHBASE ?= $(shell git ls-files 'BENCH_*.json' | grep -v "^$(BENCHOUT)$$" | sort | tail -1)
 BENCHTOL ?= 1.0
 
-.PHONY: ci fmt vet build test race replay-check sample-check chaos serve-check bench bench-smoke
+.PHONY: ci fmt vet build test race replay-check sample-check chaos serve-check store-check bench bench-smoke
 
-ci: fmt vet build test race chaos replay-check sample-check serve-check bench-smoke
+ci: fmt vet build test race chaos replay-check sample-check serve-check store-check bench-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -52,9 +52,9 @@ race:
 # — never a corrupt store or a silently wrong answer.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Watchdog|Backoff|Compact|Corrupt|Evict|SourceSite|FuzzLoadJournal|TestFault|TestParse|TestApply' \
+		-run 'Chaos|Watchdog|Backoff|Compact|Corrupt|Evict|SourceSite|FuzzLoadJournal|TestFault|TestParse|TestApply|TornTail' \
 		./internal/fault/... ./internal/runner/... ./internal/replay/... \
-		./internal/server/...
+		./internal/server/... ./internal/store/...
 
 # Service smoke gate, race-enabled: the pinted lifecycle/admission/
 # fairness/drain suite, including two concurrent tiny campaigns from
@@ -82,6 +82,23 @@ replay-check:
 sample-check:
 	$(GO) test -race -count=1 -run 'TestSample|TestAnalyze|TestReplayerSkip|TestChaosSampled' \
 		./internal/phase ./internal/sim ./internal/runner ./internal/replay
+
+# Result-store gate, race-enabled: the content-addressed store's full
+# suite (durability, fingerprint isolation, GC, single-flight) plus its
+# campaign/service integration tests; the committed simulator
+# fingerprint must match the tree (a drifted simulator with a stale
+# fingerprint would poison every shared store); the store-verify
+# integrity gate replays the golden matrix live; and the warm-restart
+# property — a store-backed rerun is served without simulating — is
+# exercised via one benchmark iteration (the bench fails unless
+# FromStore == 12 with byte-identical results).
+store-check:
+	$(GO) test -race -count=1 ./internal/store/...
+	$(GO) test -race -count=1 -run 'TestStore|TestMemoCounters|TestRunnerStore|TestServeDuplicateTenants|TestServeStoreAcrossRestart' \
+		./internal/runner ./internal/expt ./internal/server
+	$(GO) run ./cmd/simfp -root . -check
+	$(GO) run ./cmd/pintetrace store-verify -goldens internal/sim/testdata
+	$(GO) test -bench 'BenchmarkSweepWarmRestart' -benchtime 1x -run '^$$' .
 
 # One pass over every benchmark as a compile-and-run smoke; keeps the
 # hot-path benchmarks building and non-panicking without the cost of a

@@ -11,12 +11,14 @@ package repro_test
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/expt"
 	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -326,6 +328,94 @@ func BenchmarkSweepFanout(b *testing.B) {
 			b.Fatalf("only %d of %d points fanned", p, len(cfgs))
 		}
 	}
+}
+
+// BenchmarkSweepWarmRestart measures the persistent result store's
+// restart economics on the same 12-point sweep as BenchmarkSweepReplay:
+// Cold runs the sweep against an empty store (and pays the store's
+// append/fsync tax on every completion); Warm reopens the now-populated
+// store directory from scratch — a different process start, cold OS
+// caches for the index rebuild — and reruns the identical campaign,
+// which must be served entirely from the store with zero simulations
+// and byte-identical results. The Warm/Cold ratio is the headline
+// never-simulate-the-same-config-twice speedup (target ≥10×).
+func BenchmarkSweepWarmRestart(b *testing.B) {
+	pts := []float64{0.005, 0.01, 0.025, 0.05, 0.075, 0.10,
+		0.20, 0.30, 0.50, 0.70, 0.90, 1.0}
+	cfgs := make([]sim.Config, 0, len(pts))
+	for _, p := range pts {
+		cfgs = append(cfgs, sim.Config{
+			Workload:     "453.povray",
+			Mode:         sim.PInTE,
+			PInduce:      p,
+			WarmupInstrs: 20_000,
+			ROIInstrs:    500_000,
+			SampleEvery:  500_000,
+			Seed:         1,
+		})
+	}
+	sweep := func(b *testing.B, dir string) *runner.Outcome {
+		b.Helper()
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		orc := runner.New(runner.Options{Workers: 1, Store: st})
+		out, err := orc.RunAll(context.Background(), cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hard := out.HardFailures(); len(hard) > 0 {
+			b.Fatal(hard[0])
+		}
+		return out
+	}
+	fingerprints := func(b *testing.B, out *runner.Outcome) []string {
+		b.Helper()
+		fps := make([]string, len(out.Results))
+		for i, r := range out.Results {
+			rr := *r
+			rr.WallTime = 0
+			j, err := json.Marshal(&rr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fps[i] = string(j)
+		}
+		return fps
+	}
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := sweep(b, b.TempDir())
+			if out.Ran != len(cfgs) || out.FromStore != 0 {
+				b.Fatalf("cold sweep ran %d, served %d from store (want %d and 0)",
+					out.Ran, out.FromStore, len(cfgs))
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		dir := b.TempDir()
+		cold := sweep(b, dir)
+		want := fingerprints(b, cold)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := sweep(b, dir) // reopen from disk: index rebuild included
+			if out.Ran != 0 || out.FromStore != len(cfgs) {
+				b.Fatalf("warm sweep ran %d, served %d from store (want 0 and %d)",
+					out.Ran, out.FromStore, len(cfgs))
+			}
+			b.StopTimer()
+			for j, fp := range fingerprints(b, out) {
+				if fp != want[j] {
+					b.Fatalf("warm result %d is not byte-identical to the cold run", j)
+				}
+			}
+			b.StartTimer()
+		}
+	})
 }
 
 // Benches for this reproduction's beyond-the-paper experiments.

@@ -10,6 +10,15 @@
 // With -baseline it also prints a per-benchmark speedup table against an
 // earlier report and exits nonzero when any shared benchmark regressed
 // more than -tolerance (fractional ns/op increase).
+//
+// With -history it reads no stdin at all: it aggregates the committed
+// BENCH_*.json reports (the positional arguments, or every BENCH_*.json
+// in the current directory) into a per-benchmark trajectory table —
+// one column per report date, one row per benchmark, and the newest
+// measurement's speedup against the benchmark's first appearance:
+//
+//	benchjson -history
+//	benchjson -history BENCH_2026-08-06.json BENCH_2026-08-08_fanout.json
 package main
 
 import (
@@ -66,8 +75,17 @@ func main() {
 			"fractional ns/op regression vs -baseline that fails the run "+
 				"(generous by default: 1x-benchtime wall-clock numbers swing "+
 				"with host load; tighten alongside longer -benchtime runs)")
+		history = flag.Bool("history", false,
+			"aggregate committed BENCH_*.json reports (args, or the current "+
+				"directory's) into a per-benchmark trajectory table and exit")
 	)
 	flag.Parse()
+	if *history {
+		if err := runHistory(flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	path := *out
 	if path == "" {
 		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"

@@ -28,9 +28,29 @@ import (
 	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// openResultStore opens the -result-store directory, or returns nil (no
+// caching) when the flag is empty. A malformed flag is a usage error; an
+// unusable directory is a degradation — the run executes uncached.
+func openResultStore(spec string) *store.Store {
+	if spec == "" {
+		return nil
+	}
+	dir, budget, err := store.ParseFlag(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := store.Open(store.Options{Dir: dir, BudgetBytes: budget, Logf: log.Printf})
+	if err != nil {
+		log.Printf("result store unavailable, running uncached: %v", err)
+		return nil
+	}
+	return st
+}
 
 func main() {
 	log.SetFlags(0)
@@ -59,6 +79,7 @@ func main() {
 		resume    = flag.String("resume", "", "JSONL journal path: recall the run if journaled, checkpoint it otherwise")
 		compact   = flag.String("journal-compact", "", "compact this resume journal in place (drop corrupt lines and superseded entries) and exit")
 		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB (0 = off); a single run only benefits when a co-runner rewinds, but the flag keeps pintesim flag-compatible with pintesweep")
+		resStore  = flag.String("result-store", "", "durable cross-campaign result store: dir[,MiB budget]; a config already simulated by ANY past run of ANY binary sharing the directory is served from it instead of re-simulated (empty = off)")
 	)
 	profOpts := prof.Flags(nil)
 	chaos := fault.Flag(nil)
@@ -133,6 +154,8 @@ func main() {
 	if *replayMiB > 0 {
 		streams = replay.NewCache(*replayMiB << 20)
 	}
+	resultStore := openResultStore(*resStore)
+	defer resultStore.Close()
 	orc := runner.New(runner.Options{
 		Workers:    1,
 		Timeout:    *timeout,
@@ -142,6 +165,7 @@ func main() {
 		Journal:    *resume,
 		Logf:       log.Printf,
 		Streams:    streams,
+		Store:      resultStore,
 	})
 	out, err := orc.RunAll(ctx, []sim.Config{cfg})
 	if perr := stopProf(); perr != nil {
@@ -165,6 +189,9 @@ func main() {
 	res := out.Results[0]
 	if out.FromJournal > 0 {
 		fmt.Printf("(recalled from journal %s; wall time below is the original run's)\n", *resume)
+	}
+	if out.FromStore > 0 {
+		fmt.Printf("(served from result store %s; wall time below is the original run's)\n", *resStore)
 	}
 
 	fmt.Printf("workload        %s (%s)\n", *workload, *mode)

@@ -40,9 +40,32 @@ import (
 	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// openResultStore opens the -result-store directory, or returns nil (no
+// caching) when the flag is empty. A malformed flag is a usage error; an
+// unusable directory is a degradation — the sweep runs uncached rather
+// than failing before it starts.
+func openResultStore(spec string) *store.Store {
+	if spec == "" {
+		return nil
+	}
+	dir, budget, err := store.ParseFlag(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := store.Open(store.Options{Dir: dir, BudgetBytes: budget, Logf: log.Printf})
+	if err != nil {
+		log.Printf("result store unavailable, running uncached: %v", err)
+		return nil
+	}
+	s := st.Stats()
+	log.Printf("result store %s: %d entries under %s (%d bytes)", dir, s.Entries, s.Fingerprint, s.Bytes)
+	return st
+}
 
 func main() {
 	log.SetFlags(0)
@@ -66,6 +89,7 @@ func main() {
 		replayMiB = flag.Int64("replay-cache", 0, "record/replay stream cache budget in MiB: each workload stream is generated once and replayed across all its sweep points (0 = off, regenerate per run)")
 		fanout    = flag.Bool("fanout", true, "run sweep points sharing a (workload, seed) stream in lockstep over one trace decode (results are byte-identical; failed points fall back to per-run execution)")
 		sample    = flag.Bool("sample", false, "phase-aware representative sampling: profile each workload once, cluster its execution phases, and simulate only one representative window per phase (approximate — extrapolated metrics carry error bounds; overrides -fanout)")
+		resStore  = flag.String("result-store", "", "durable cross-campaign result store: dir[,MiB budget]; configs already simulated by ANY past run of ANY binary sharing the directory are served from it instead of re-simulated (empty = off)")
 	)
 	profOpts := prof.Flags(nil)
 	chaos := fault.Flag(nil)
@@ -126,6 +150,8 @@ func main() {
 		streamCache = replay.NewCache(*replayMiB << 20)
 		streams = streamCache
 	}
+	resultStore := openResultStore(*resStore)
+	defer resultStore.Close()
 	orc := runner.New(runner.Options{
 		Workers:    *workers,
 		Timeout:    *timeout,
@@ -138,6 +164,7 @@ func main() {
 		Streams:    streams,
 		Fanout:     *fanout && !*sample, // sampling supersedes fan-out; don't warn on the default
 		Sample:     *sample,
+		Store:      resultStore,
 	})
 	stopProf, err := profOpts.Start()
 	if err != nil {

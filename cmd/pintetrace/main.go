@@ -42,6 +42,8 @@ func main() {
 		cmdConvert(ctx, os.Args[2:])
 	case "compact":
 		cmdCompact(os.Args[2:])
+	case "store-verify":
+		cmdStoreVerify(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -77,7 +79,8 @@ func usage() {
   pintetrace info <file>
   pintetrace convert -to champsim <in.trc[.gz]> <out>
   pintetrace convert -from champsim <in> <out.trc[.gz]>
-  pintetrace compact <journal>`)
+  pintetrace compact <journal>
+  pintetrace store-verify [-store <dir[,MiB]>] [-sample N] [-seed S] [-goldens <dir>]`)
 	os.Exit(2)
 }
 

@@ -8,6 +8,8 @@ import (
 	"repro/internal/replay"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -36,6 +38,13 @@ type Runner struct {
 	// Streams is the campaign-wide record/replay cache handed to every
 	// run; set it to nil to regenerate streams per run.
 	Streams trace.SourceProvider
+	// Store, when non-nil, is the durable cross-campaign result store:
+	// the in-process memo becomes a warm layer over it — memo misses
+	// consult (and batch completions populate) the store through the
+	// orchestrator, so a repeated experiment costs nothing even across
+	// process restarts. Memo traffic is folded into the same expvar
+	// ("pinte.store") as the store's own counters.
+	Store *store.Store
 
 	ctx  context.Context
 	mu   sync.Mutex
@@ -153,7 +162,12 @@ func (r *Runner) GetAll(cfgs []sim.Config) ([]*sim.Result, error) {
 	for i, cfg := range cfgs {
 		k := r.key(cfg)
 		keys[i] = k
-		if r.memo[k] == nil && !seen[k] {
+		if r.memo[k] != nil {
+			telemetry.StoreC.MemoHits.Add(1)
+			continue
+		}
+		telemetry.StoreC.MemoMisses.Add(1)
+		if !seen[k] {
 			seen[k] = true
 			missing = append(missing, cfg)
 			missingIdx = append(missingIdx, i)
@@ -168,7 +182,7 @@ func (r *Runner) GetAll(cfgs []sim.Config) ([]*sim.Result, error) {
 		// Fan-out is always on for experiment batches: a sweep's points
 		// share one decode pass, results are byte-identical, and any
 		// in-group failure falls back to the per-run path below.
-		orc := runner.New(runner.Options{Workers: r.Scale.Workers, Streams: r.Streams, Fanout: true})
+		orc := runner.New(runner.Options{Workers: r.Scale.Workers, Streams: r.Streams, Fanout: true, Store: r.Store})
 		out, err := orc.RunAll(ctx, missing)
 		if err != nil {
 			return nil, err

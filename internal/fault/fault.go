@@ -59,6 +59,12 @@ const (
 	SiteWorkerHang  = "worker.hang"  // the run blocks, ignoring its context
 	SiteWorkerSlow  = "worker.slow"  // the run stalls for Spec.Delay first
 
+	// Result store (internal/store): content-addressed cache faults.
+	// All three degrade to compute-without-cache, never a failed run.
+	SiteStoreOpen   = "store.open"   // store open/segment scan fails
+	SiteStoreAppend = "store.append" // a result append fails
+	SiteStoreRead   = "store.read"   // a hit read-back fails
+
 	// Campaign service (internal/server): service-layer faults.
 	SiteServerAdmit       = "server.admit"        // the admission check dies before reaching a verdict
 	SiteServerStreamWrite = "server.stream.write" // a result-stream write toward a client fails

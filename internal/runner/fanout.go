@@ -157,14 +157,60 @@ func (o *Orchestrator) runFanPhase(ctx context.Context, cfgs []sim.Config, keys 
 }
 
 // runFanGroup executes one fan-out group and returns the indices that
-// failed in-group and must fall back to the per-run path. Fallback
-// points carry one prior attempt so the per-run executor re-enters the
-// backoff ladder instead of retrying immediately.
+// must drain through the per-run path: points that failed in-group
+// (carrying one prior attempt so the per-run executor re-enters the
+// backoff ladder instead of retrying immediately) plus points another
+// campaign is computing right now (no prior attempt — the per-run path
+// collapses them onto that computation via the store's single-flight).
 func (o *Orchestrator) runFanGroup(ctx context.Context, gi int, g []int, cfgs []sim.Config, keys []string,
 	prior []int, out *Outcome, mu *sync.Mutex, prog *telemetry.Progress, journal *Journal) (fallback []int) {
 
-	gcfgs := make([]sim.Config, len(g))
-	for j, i := range g {
+	run := g
+	published := make(map[string]*sim.Result)
+	if st := o.opts.Store; st != nil {
+		// The admission-time store check may be stale by the time this
+		// group is scheduled: re-check each point, then claim the rest in
+		// one sweep so concurrent campaigns running the same configs wait
+		// for this group instead of re-decoding and re-simulating it.
+		run = nil
+		var claimKeys []string
+		for _, i := range g {
+			if res, ok := st.Lookup(keys[i]); ok {
+				mu.Lock()
+				out.Results[i] = res
+				out.FromStore++
+				mu.Unlock()
+				prog.RunCompleted()
+				if o.opts.OnResult != nil {
+					o.opts.OnResult(i, keys[i], res, false)
+				}
+				o.journalOne(journal, i, 0, cfgs, keys, res, out, mu, prog)
+				continue
+			}
+			run = append(run, i)
+			claimKeys = append(claimKeys, keys[i])
+		}
+		claimed, finish := st.BeginFlights(claimKeys)
+		// The deferred finish releases waiters even when the group
+		// panics; points the group never published wake into their own
+		// attempts.
+		defer func() { finish(published) }()
+		kept := run[:0]
+		for _, i := range run {
+			if claimed[keys[i]] {
+				kept = append(kept, i)
+			} else {
+				fallback = append(fallback, i)
+			}
+		}
+		run = kept
+		if len(run) == 0 {
+			return fallback
+		}
+	}
+
+	gcfgs := make([]sim.Config, len(run))
+	for j, i := range run {
 		c := cfgs[i]
 		if c.Streams == nil {
 			c.Streams = o.opts.Streams
@@ -176,18 +222,18 @@ func (o *Orchestrator) runFanGroup(ctx context.Context, gi int, g []int, cfgs []
 	if o.opts.Timeout > 0 {
 		// The group shares one budget: a point's deadline is not
 		// meaningful in lockstep, so the group gets the sum.
-		gctx, cancel = context.WithTimeout(ctx, o.opts.Timeout*time.Duration(len(g)))
+		gctx, cancel = context.WithTimeout(ctx, o.opts.Timeout*time.Duration(len(run)))
 	}
 	telemetry.Fanout.GroupsFormed.Add(1)
-	telemetry.Fanout.PointsFanned.Add(int64(len(g)))
+	telemetry.Fanout.PointsFanned.Add(int64(len(run)))
 	telemetry.Fanout.DecodePasses.Add(1)
-	telemetry.Fanout.DecodePassesSaved.Add(int64(len(g) - 1))
+	telemetry.Fanout.DecodePassesSaved.Add(int64(len(run) - 1))
 	pts := sim.RunFanGroup(gctx, gcfgs, o.opts.StallGrace)
 	cancel()
 
 	failed := 0
 	for j, pt := range pts {
-		i := g[j]
+		i := run[j]
 		if pt.Err != nil {
 			failed++
 			telemetry.Fanout.FallbackPoints.Add(1)
@@ -219,8 +265,17 @@ func (o *Orchestrator) runFanGroup(ctx context.Context, gi int, g []int, cfgs []
 				mu.Unlock()
 			}
 		}
+		// Fan-group points are full-fidelity — persist them for every
+		// future campaign, after the journal append, and publish them to
+		// any concurrent campaigns waiting on this group's flights.
+		if o.opts.Store != nil {
+			published[keys[i]] = pt.Res
+			if err := o.opts.Store.Put(keys[i], pt.Res); err != nil {
+				o.logf("store: caching fan-out result of run %d failed (campaign unaffected): %v", i, err)
+			}
+		}
 	}
-	if failed == len(g) {
+	if failed == len(run) {
 		telemetry.Fanout.GroupAborts.Add(1)
 	}
 	return fallback

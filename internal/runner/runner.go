@@ -30,6 +30,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/phase"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -139,6 +140,16 @@ type Options struct {
 	// as they happen. Called without internal locks held; must be safe
 	// for concurrent use.
 	OnResult func(index int, key string, res *sim.Result, fromJournal bool)
+	// Store, when non-nil, is the cross-campaign content-addressed
+	// result store (internal/store): pending configs already stored
+	// under the current simulator fingerprint are satisfied without
+	// running, configs another campaign is computing right now are
+	// collapsed onto that computation via single-flight (no pool worker
+	// burned on a duplicate), and every full-fidelity completion is
+	// appended after its journal entry. Sampled runs bypass the store
+	// in both directions — approximations are never shared. Store
+	// failures degrade to compute-without-cache; they never fail a run.
+	Store *store.Store
 }
 
 // RunError describes one failed run of a campaign.
@@ -187,8 +198,11 @@ type Outcome struct {
 	// Failures holds one RunError per failed config, ordered by Index.
 	Failures []*RunError
 	// FromJournal counts configs satisfied from the resume journal
-	// without running; Ran counts configs actually executed.
+	// without running; FromStore counts configs satisfied from the
+	// cross-campaign result store (a prior hit or a shared in-flight
+	// computation); Ran counts configs actually executed.
 	FromJournal int
+	FromStore   int
 	Ran         int
 }
 
@@ -424,6 +438,45 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		defer q.Close()
 	}
 
+	// Store phase: before any scheduling, satisfy pending configs from
+	// the cross-campaign result store, and pull configs another campaign
+	// is computing right now out of the scheduling paths entirely — each
+	// becomes a watcher (launched below, after the phase planners have
+	// run) that blocks on the in-flight computation instead of burning a
+	// pool worker on a duplicate. Running this before the sample/fan
+	// phases keeps already-answered configs out of profile and decode
+	// work.
+	var watcherIdx []int
+	if st := o.opts.Store; st != nil {
+		rest := pending[:0]
+		hits := 0
+		for _, i := range pending {
+			if res, ok := st.Get(keys[i]); ok {
+				mu.Lock()
+				out.Results[i] = res
+				out.FromStore++
+				mu.Unlock()
+				hits++
+				prog.RunCompleted()
+				if o.opts.OnResult != nil {
+					o.opts.OnResult(i, keys[i], res, false)
+				}
+				o.journalOne(journal, i, 0, cfgs, keys, res, out, &mu, prog)
+				continue
+			}
+			if st.InFlight(keys[i]) {
+				watcherIdx = append(watcherIdx, i)
+				continue
+			}
+			rest = append(rest, i)
+		}
+		pending = rest
+		if hits > 0 || len(watcherIdx) > 0 {
+			o.logf("store: %d of %d pending runs served from %s (%d more in flight elsewhere)",
+				hits, hits+len(watcherIdx)+len(pending), st.FingerprintID(), len(watcherIdx))
+		}
+	}
+
 	if o.opts.Sample && o.run == nil {
 		// Sample phase: profile, cluster and stamp sampling plans (see
 		// sample.go). Test harnesses that substitute o.run bypass it —
@@ -439,6 +492,21 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 		// harnesses that substitute o.run bypass it — a fan group runs
 		// the real simulator, not the injected stand-in.
 		pending = o.runFanPhase(ctx, cfgs, keys, pending, prior, out, &mu, prog, journal, q)
+	}
+
+	// Watchers: configs found in flight elsewhere during the store phase
+	// ride on plain goroutines — execOne lands in the store's
+	// single-flight wait (or inherits the finished result, or becomes
+	// the new leader if the other campaign's attempt died) without
+	// occupying a pool slot or one of this campaign's workers.
+	var watchers sync.WaitGroup
+	for _, i := range watcherIdx {
+		i := i
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			o.execOne(ctx, i, cfgs, keys, prior, out, &mu, prog, journal)
+		}()
 	}
 
 	if q != nil {
@@ -502,6 +570,7 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 			prog.RunFailed()
 		}
 	}
+	watchers.Wait()
 	if heartbeatDone != nil {
 		close(heartbeatDone)
 		o.logf("%s", prog.Snapshot(time.Now()))
@@ -514,12 +583,51 @@ func (o *Orchestrator) RunAll(ctx context.Context, cfgs []sim.Config) (*Outcome,
 
 // execOne runs one pending config end to end — retry ladder, result and
 // failure accounting, journal append, result callback — sharing the
-// campaign mutex with every other executor of the same campaign.
+// campaign mutex with every other executor of the same campaign. With a
+// result store configured, full-fidelity attempts run under its
+// single-flight: concurrent identical configs (other campaigns, other
+// tenants) collapse onto one computation, and the computing side
+// persists its result to the store after the journal append. Sampled
+// attempts bypass the store — approximations are never shared.
 func (o *Orchestrator) execOne(ctx context.Context, i int, cfgs []sim.Config, keys []string,
 	prior []int, out *Outcome, mu *sync.Mutex, prog *telemetry.Progress, journal *Journal) {
-	res, attempts, rerr := o.runOne(ctx, i, cfgs[i], keys[i], prior[i], prog)
+	st := o.opts.Store
+	sampled := o.plans != nil && o.plans[i] != nil
+	var (
+		res      *sim.Result
+		attempts int
+		rerr     *RunError
+	)
+	via := store.ViaCompute
+	if st != nil && !sampled {
+		var shared *sim.Result
+		var derr error
+		shared, via, derr = st.Do(ctx, keys[i], func() (*sim.Result, error) {
+			res, attempts, rerr = o.runOne(ctx, i, cfgs[i], keys[i], prior[i], prog)
+			if rerr != nil {
+				return nil, rerr.Err
+			}
+			return res, nil
+		})
+		switch {
+		case via == store.ViaCompute:
+			// res/attempts/rerr already carry this run's own attempt.
+		case derr != nil:
+			// Canceled while waiting on another campaign's computation.
+			rerr = &RunError{Index: i, Config: cfgs[i], Key: keys[i], Err: sim.ErrCanceled}
+		default:
+			res, rerr = shared, nil
+		}
+	} else {
+		res, attempts, rerr = o.runOne(ctx, i, cfgs[i], keys[i], prior[i], prog)
+	}
+
 	mu.Lock()
-	out.Ran++
+	if via == store.ViaCompute {
+		out.Ran++
+	} else if rerr == nil {
+		out.FromStore++
+	}
 	if rerr != nil {
 		out.Failures = append(out.Failures, rerr)
 		mu.Unlock()
@@ -532,21 +640,35 @@ func (o *Orchestrator) execOne(ctx context.Context, i int, cfgs []sim.Config, ke
 	if o.opts.OnResult != nil {
 		o.opts.OnResult(i, keys[i], res, false)
 	}
-	if journal != nil {
-		if err := journal.Append(keys[i], res); err != nil {
-			// The run itself succeeded and its result is kept in
-			// Results[i]; only the checkpoint was lost. Record it as a
-			// journal-only failure with the real attempt count so
-			// exit-code logic and reports stay truthful.
-			prog.JournalError()
-			mu.Lock()
-			out.Failures = append(out.Failures, &RunError{
-				Index: i, Config: cfgs[i], Key: keys[i],
-				Attempts: attempts, JournalOnly: true,
-				Err: fmt.Errorf("journaling result: %w", err),
-			})
-			mu.Unlock()
+	o.journalOne(journal, i, attempts, cfgs, keys, res, out, mu, prog)
+	if st != nil && !sampled && via == store.ViaCompute {
+		// Persist for every future campaign, after the journal append so
+		// the campaign's own durability is settled first. A failed Put
+		// costs only the cache entry — the run already succeeded.
+		if err := st.Put(keys[i], res); err != nil {
+			o.logf("store: caching result of run %d failed (campaign unaffected): %v", i, err)
 		}
+	}
+}
+
+// journalOne appends one completed result to the resume journal,
+// recording an append failure as a journal-only RunError: the run
+// itself succeeded and its result is kept in Results[i]; only the
+// checkpoint was lost, and exit-code logic and reports stay truthful.
+func (o *Orchestrator) journalOne(journal *Journal, i, attempts int, cfgs []sim.Config,
+	keys []string, res *sim.Result, out *Outcome, mu *sync.Mutex, prog *telemetry.Progress) {
+	if journal == nil {
+		return
+	}
+	if err := journal.Append(keys[i], res); err != nil {
+		prog.JournalError()
+		mu.Lock()
+		out.Failures = append(out.Failures, &RunError{
+			Index: i, Config: cfgs[i], Key: keys[i],
+			Attempts: attempts, JournalOnly: true,
+			Err: fmt.Errorf("journaling result: %w", err),
+		})
+		mu.Unlock()
 	}
 }
 

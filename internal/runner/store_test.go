@@ -1,0 +1,287 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+func openStore(t *testing.T, dir, fp string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Fingerprint: fp})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func resultBytes(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestStoreWarmRestartByteIdentical is the tentpole property at the
+// orchestrator level: a campaign rerun against the same store directory
+// in a fresh "process" (new Store, new Orchestrator) executes nothing
+// and returns byte-identical results.
+func TestStoreWarmRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := []sim.Config{
+		tinyCfg("433.milc", 0.1),
+		tinyCfg("433.milc", 0.5),
+		tinyCfg("470.lbm", 0.3),
+	}
+
+	st := openStore(t, dir, "sim-test")
+	o := New(Options{Workers: 2, Store: st})
+	cold, err := o.RunAll(context.Background(), cfgs)
+	if err != nil || cold.Err() != nil {
+		t.Fatalf("cold pass: %v / %v", err, cold.Err())
+	}
+	if cold.Ran != len(cfgs) || cold.FromStore != 0 {
+		t.Fatalf("cold pass Ran=%d FromStore=%d, want %d/0", cold.Ran, cold.FromStore, len(cfgs))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, "sim-test")
+	o2 := New(Options{Workers: 2, Store: st2})
+	warm, err := o2.RunAll(context.Background(), cfgs)
+	if err != nil || warm.Err() != nil {
+		t.Fatalf("warm pass: %v / %v", err, warm.Err())
+	}
+	if warm.Ran != 0 || warm.FromStore != len(cfgs) {
+		t.Fatalf("warm pass Ran=%d FromStore=%d, want 0/%d", warm.Ran, warm.FromStore, len(cfgs))
+	}
+	for i := range cfgs {
+		if got, want := resultBytes(t, warm.Results[i]), resultBytes(t, cold.Results[i]); got != want {
+			t.Fatalf("result %d not byte-identical across warm restart:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestStoreFingerprintBumpForcesRecompute simulates a simulator change:
+// a store reopened under a new fingerprint serves zero stale hits and
+// the campaign recomputes everything; reverting finds the old records.
+func TestStoreFingerprintBumpForcesRecompute(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := []sim.Config{tinyCfg("433.milc", 0.1), tinyCfg("470.lbm", 0.3)}
+
+	st := openStore(t, dir, "sim-v1")
+	o := New(Options{Workers: 2, Store: st})
+	if out, err := o.RunAll(context.Background(), cfgs); err != nil || out.Err() != nil {
+		t.Fatalf("v1 pass: %v / %v", err, out.Err())
+	}
+	st.Close()
+
+	before := telemetry.StoreSnapshot()
+	st2 := openStore(t, dir, "sim-v2")
+	o2 := New(Options{Workers: 2, Store: st2})
+	out, err := o2.RunAll(context.Background(), cfgs)
+	if err != nil || out.Err() != nil {
+		t.Fatalf("v2 pass: %v / %v", err, out.Err())
+	}
+	if out.Ran != len(cfgs) || out.FromStore != 0 {
+		t.Fatalf("v2 pass Ran=%d FromStore=%d, want %d/0 (full recompute)", out.Ran, out.FromStore, len(cfgs))
+	}
+	after := telemetry.StoreSnapshot()
+	if hits := after["hits"] - before["hits"]; hits != 0 {
+		t.Fatalf("%d stale hits served across a fingerprint bump", hits)
+	}
+	if stale := after["stale_skipped"] - before["stale_skipped"]; stale != int64(len(cfgs)) {
+		t.Fatalf("stale_skipped delta = %d, want %d", stale, len(cfgs))
+	}
+	st2.Close()
+
+	st3 := openStore(t, dir, "sim-v1")
+	o3 := New(Options{Workers: 2, Store: st3})
+	out3, err := o3.RunAll(context.Background(), cfgs)
+	if err != nil || out3.Err() != nil {
+		t.Fatalf("revert pass: %v / %v", err, out3.Err())
+	}
+	if out3.FromStore != len(cfgs) {
+		t.Fatalf("revert pass FromStore=%d, want %d (old records intact)", out3.FromStore, len(cfgs))
+	}
+}
+
+// TestStoreFaultsDegradeToComputeWithoutCache arms every store fault
+// site at once; the campaign must still fully succeed — the store
+// degrades, the runs do not.
+func TestStoreFaultsDegradeToComputeWithoutCache(t *testing.T) {
+	fault.Enable(11)
+	defer fault.Disable()
+	fault.Set(fault.SiteStoreAppend, fault.Spec{Every: 1})
+	fault.Set(fault.SiteStoreRead, fault.Spec{Every: 1})
+
+	dir := t.TempDir()
+	st := openStore(t, dir, "sim-test")
+	var computes atomic.Int32
+	o := New(Options{Workers: 2, Store: st})
+	o.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		computes.Add(1)
+		return &sim.Result{Config: cfg, IPC: 1}, nil
+	}
+	cfgs := []sim.Config{tinyCfg("a", 0.1), tinyCfg("b", 0.2)}
+	before := telemetry.StoreSnapshot()
+	out, err := o.RunAll(context.Background(), cfgs)
+	if err != nil || out.Err() != nil {
+		t.Fatalf("store faults failed the campaign: %v / %v", err, out.Err())
+	}
+	if out.Ran != 2 || computes.Load() != 2 {
+		t.Fatalf("Ran=%d computes=%d, want 2/2", out.Ran, computes.Load())
+	}
+	after := telemetry.StoreSnapshot()
+	if d := after["put_errors"] - before["put_errors"]; d != 2 {
+		t.Fatalf("put_errors delta = %d, want 2 (typed, counted, non-fatal)", d)
+	}
+
+	// Same campaign with reads faulted against a populated store: every
+	// hit degrades to a counted miss and recomputes.
+	fault.Disable()
+	st2 := openStore(t, t.TempDir(), "sim-test")
+	o2 := New(Options{Workers: 1, Store: st2})
+	o2.run = o.run
+	if out, err := o2.RunAll(context.Background(), cfgs); err != nil || out.Err() != nil {
+		t.Fatalf("populate: %v / %v", err, out.Err())
+	}
+	fault.Enable(11)
+	fault.Set(fault.SiteStoreRead, fault.Spec{Every: 1})
+	computes.Store(0)
+	before = telemetry.StoreSnapshot()
+	out2, err := o2.RunAll(context.Background(), cfgs)
+	if err != nil || out2.Err() != nil {
+		t.Fatalf("read faults failed the campaign: %v / %v", err, out2.Err())
+	}
+	if computes.Load() != 2 || out2.Ran != 2 {
+		t.Fatalf("faulted reads did not recompute: computes=%d Ran=%d", computes.Load(), out2.Ran)
+	}
+	after = telemetry.StoreSnapshot()
+	if d := after["read_errors"] - before["read_errors"]; d < 2 {
+		t.Fatalf("read_errors delta = %d, want >= 2", d)
+	}
+}
+
+// waitParkedOnFlight polls the process's goroutine dump until some
+// goroutine is select-blocked inside store.(*Store).Do — a single-flight
+// waiter parked on another campaign's computation. (The computing
+// leader sits in Do too, but chan-receive-blocked inside its compute
+// closure, so requiring the select state isolates the waiter.)
+func waitParkedOnFlight(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	buf := make([]byte, 1<<20)
+	for time.Now().Before(deadline) {
+		n := runtime.Stack(buf, true)
+		for _, g := range bytes.Split(buf[:n], []byte("\n\n")) {
+			if bytes.Contains(g, []byte("[select]")) && bytes.Contains(g, []byte("store.(*Store).Do")) {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no single-flight waiter parked within 10s")
+}
+
+// TestStoreSingleFlightCollapsesAcrossCampaigns runs two orchestrators
+// (two campaigns, as two pinted tenants would be) against one store
+// with identical configs: the second campaign's runs collapse onto the
+// first's in-flight computations at admission — its own run function is
+// never called — and both campaigns finish with the same results.
+func TestStoreSingleFlightCollapsesAcrossCampaigns(t *testing.T) {
+	st := openStore(t, t.TempDir(), "sim-test")
+	cfgs := []sim.Config{tinyCfg("433.milc", 0.1)}
+
+	var computes atomic.Int32
+	block := make(chan struct{})
+	oA := New(Options{Workers: 1, Store: st})
+	oA.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		computes.Add(1)
+		<-block
+		return &sim.Result{Config: cfg, IPC: 3}, nil
+	}
+	oB := New(Options{Workers: 1, Store: st})
+	oB.run = func(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+		t.Error("duplicate campaign computed instead of collapsing")
+		return &sim.Result{Config: cfg, IPC: 3}, nil
+	}
+
+	var wg sync.WaitGroup
+	var outA, outB *Outcome
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outA, _ = oA.RunAll(context.Background(), cfgs)
+	}()
+	// A's leader is inside its compute before B is even started, so B's
+	// admission-time InFlight check sees the flight.
+	for computes.Load() == 0 {
+		runtime.Gosched()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		outB, _ = oB.RunAll(context.Background(), cfgs)
+	}()
+	waitParkedOnFlight(t)
+	close(block)
+	wg.Wait()
+
+	if computes.Load() != 1 {
+		t.Fatalf("config computed %d times across two campaigns, want 1", computes.Load())
+	}
+	if outA.Err() != nil || outB.Err() != nil {
+		t.Fatalf("outcomes: A=%v B=%v", outA.Err(), outB.Err())
+	}
+	if outA.Ran != 1 || outB.Ran != 0 || outB.FromStore != 1 {
+		t.Fatalf("A Ran=%d, B Ran=%d FromStore=%d; want 1, 0/1", outA.Ran, outB.Ran, outB.FromStore)
+	}
+	if a, b := resultBytes(t, outA.Results[0]), resultBytes(t, outB.Results[0]); a != b {
+		t.Fatalf("campaigns diverged:\nA %s\nB %s", a, b)
+	}
+}
+
+// TestStoreSkipsSampledResults: a sampled (approximated) result must
+// never be shared through the store — a second campaign with sampling
+// off recomputes at full fidelity.
+func TestStoreSkipsSampledResults(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, "sim-test")
+	cfg := tinyCfg("433.milc", 0.1)
+	cfg.ROIInstrs = 200_000 // enough windows for a plan to form
+
+	o := New(Options{Workers: 1, Store: st, Sample: true})
+	out, err := o.RunAll(context.Background(), []sim.Config{cfg})
+	if err != nil || out.Err() != nil {
+		t.Fatalf("sampled pass: %v / %v", err, out.Err())
+	}
+	st.Close()
+
+	st2 := openStore(t, dir, "sim-test")
+	o2 := New(Options{Workers: 1, Store: st2})
+	out2, err := o2.RunAll(context.Background(), []sim.Config{cfg})
+	if err != nil || out2.Err() != nil {
+		t.Fatalf("full pass: %v / %v", err, out2.Err())
+	}
+	if out.Results[0].Sampled != nil && out2.FromStore != 0 {
+		t.Fatalf("sampled result was served from the store (FromStore=%d)", out2.FromStore)
+	}
+	if out2.Results[0].Sampled != nil {
+		t.Fatal("full-fidelity pass returned a sampled result")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/runner"
+	rstore "repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -285,6 +286,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		quotaBytes = fs.Int64("quota-journal-bytes", 0, "per-tenant durable journal budget in bytes (0 = unlimited)")
 		degradeAt  = fs.Int("degrade-queued-runs", 0, "service-wide backlog above which new campaigns run with capped fan-out groups (0 = never degrade)")
 		degradeCap = fs.Int("degraded-max-group", 4, "fan-out group cap applied to degraded admissions")
+		resStore   = fs.String("result-store", "", "cross-tenant content-addressed result store: dir[,MiB budget] (empty = off)")
 	)
 	chaos := fault.Flag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -296,6 +298,25 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if err := fault.Apply(*chaos); err != nil {
 		logf("%v", err)
 		return 1
+	}
+
+	// An unusable result store is a degradation, not a startup failure:
+	// the service runs every campaign uncached.
+	var resultStore *rstore.Store
+	if *resStore != "" {
+		dir, budget, err := rstore.ParseFlag(*resStore)
+		if err != nil {
+			logf("%v", err)
+			return 2
+		}
+		resultStore, err = rstore.Open(rstore.Options{Dir: dir, BudgetBytes: budget, Logf: logf})
+		if err != nil {
+			logf("result store unavailable, running uncached: %v", err)
+		} else {
+			defer resultStore.Close()
+			st := resultStore.Stats()
+			logf("result store %s: %d entries under %s (%d bytes)", dir, st.Entries, st.Fingerprint, st.Bytes)
+		}
 	}
 
 	s, err := New(Config{
@@ -312,7 +333,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			DegradeQueuedRuns: *degradeAt,
 			DegradedMaxGroup:  *degradeCap,
 		},
-		Logf: logf,
+		ResultStore: resultStore,
+		Logf:        logf,
 	})
 	if err != nil {
 		logf("%v", err)

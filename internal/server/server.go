@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/sim"
+	rstore "repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -31,6 +32,14 @@ type Config struct {
 	// NoFanout disables one-decode fan-out groups (they are on by
 	// default: the service exists to run big sweeps cheaply).
 	NoFanout bool
+	// ResultStore, when non-nil, is the cross-tenant content-addressed
+	// result store shared by every campaign: identical configs
+	// submitted by any tenants are computed once — finished results hit
+	// the store, concurrent duplicates collapse onto one in-flight
+	// computation — while each campaign still journals and streams its
+	// own copy. Per-tenant admission quotas are unchanged: a tenant's
+	// journal bytes count what its campaigns received, however cheaply.
+	ResultStore *rstore.Store
 	// Logf receives service and campaign log lines; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -285,6 +294,7 @@ func (s *Server) launch(c *campaign) {
 			Tenant:      c.meta.Tenant,
 			Weight:      c.meta.Weight,
 			CampaignID:  c.meta.ID,
+			Store:       s.cfg.ResultStore,
 			OnResult: func(index int, key string, res *sim.Result, fromJournal bool) {
 				if !fromJournal {
 					s.completed.Add(1)

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"sort"
+	"testing"
+
+	rstore "repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// openTestStore opens a result store in a temp dir under a test
+// fingerprint and hands it to the caller's Config.
+func openTestStore(t *testing.T) *rstore.Store {
+	t.Helper()
+	st, err := rstore.Open(rstore.Options{Dir: t.TempDir(), Fingerprint: "sim-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// byIndex sorts a result stream into canonical config order and returns
+// the per-index result fingerprints.
+func byIndex(t *testing.T, events []resultEvent) []string {
+	t.Helper()
+	sort.Slice(events, func(a, b int) bool { return events[a].Index < events[b].Index })
+	out := make([]string, len(events))
+	for i, ev := range events {
+		if ev.Index != i {
+			t.Fatalf("stream has gaps: event %d carries index %d", i, ev.Index)
+		}
+		out[i] = fingerprint(t, ev.Result)
+	}
+	return out
+}
+
+// TestServeDuplicateTenantsComputeOnce is the duplicate-submission
+// regression: two tenants submitting the identical campaign must not
+// both burn pool workers on the same configs — the store's single-flight
+// collapses the duplicates — while both result streams still receive
+// the full, byte-identical result set and both campaigns finish done.
+// The store put count is the proof of single execution: one Put per
+// distinct config, regardless of how the two campaigns raced.
+func TestServeDuplicateTenantsComputeOnce(t *testing.T) {
+	st := openTestStore(t)
+	_, ts := newTestServer(t, Config{Workers: 2, ResultStore: st})
+
+	spec := tinySpec(0.05, 0.3, 0.7) // 4 distinct configs (3 points + baseline)
+	before := telemetry.StoreSnapshot()
+	a := submitOK(t, ts, "alice", spec)
+	b := submitOK(t, ts, "bob", spec)
+	waitState(t, ts, a.ID, StateDone)
+	waitState(t, ts, b.ID, StateDone)
+	after := telemetry.StoreSnapshot()
+
+	evA, finalA := streamResults(t, ts, a.ID)
+	evB, finalB := streamResults(t, ts, b.ID)
+	if finalA == nil || finalB == nil {
+		t.Fatal("a stream ended without its final status line")
+	}
+	fpA, fpB := byIndex(t, evA), byIndex(t, evB)
+	if len(fpA) != len(fpB) || len(fpA) == 0 {
+		t.Fatalf("stream sizes diverge: %d vs %d", len(fpA), len(fpB))
+	}
+	for i := range fpA {
+		if fpA[i] != fpB[i] {
+			t.Fatalf("tenants diverged at run %d:\nalice %s\nbob   %s", i, fpA[i], fpB[i])
+		}
+	}
+	// Each distinct config was computed (and therefore stored) exactly
+	// once across both tenants.
+	if d := after["puts"] - before["puts"]; d != int64(len(fpA)) {
+		t.Fatalf("puts delta = %d, want %d (each config computed once)", d, len(fpA))
+	}
+	if d := (after["hits"] - before["hits"]) + (after["singleflight_shared"] - before["singleflight_shared"]); d != int64(len(fpA)) {
+		t.Fatalf("hit+shared delta = %d, want %d (the duplicate campaign served entirely without compute)", d, len(fpA))
+	}
+}
+
+// TestServeStoreAcrossRestart: a campaign resubmitted to a fresh server
+// process sharing the same store directory is served from the store —
+// zero new computations — with a byte-identical stream.
+func TestServeStoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := rstore.Open(rstore.Options{Dir: dir, Fingerprint: "sim-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, ResultStore: st})
+	spec := tinySpec(0.1, 0.5)
+	first := submitOK(t, ts, "alice", spec)
+	waitState(t, ts, first.ID, StateDone)
+	evFirst, _ := streamResults(t, ts, first.ID)
+	ts.Close()
+	st.Close()
+
+	st2, err := rstore.Open(rstore.Options{Dir: dir, Fingerprint: "sim-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	_, ts2 := newTestServer(t, Config{Workers: 2, ResultStore: st2})
+	before := telemetry.StoreSnapshot()
+	second := submitOK(t, ts2, "carol", spec)
+	waitState(t, ts2, second.ID, StateDone)
+	after := telemetry.StoreSnapshot()
+	evSecond, _ := streamResults(t, ts2, second.ID)
+
+	fpFirst, fpSecond := byIndex(t, evFirst), byIndex(t, evSecond)
+	if len(fpFirst) != len(fpSecond) {
+		t.Fatalf("stream sizes diverge: %d vs %d", len(fpFirst), len(fpSecond))
+	}
+	for i := range fpFirst {
+		if fpFirst[i] != fpSecond[i] {
+			t.Fatalf("restarted service diverged at run %d", i)
+		}
+	}
+	if d := after["hits"] - before["hits"]; d != int64(len(fpFirst)) {
+		t.Fatalf("hits delta = %d, want %d (everything from the store)", d, len(fpFirst))
+	}
+	if d := after["puts"] - before["puts"]; d != 0 {
+		t.Fatalf("puts delta = %d, want 0 (nothing recomputed)", d)
+	}
+}

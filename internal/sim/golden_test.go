@@ -2,7 +2,6 @@ package sim
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -14,60 +13,18 @@ import (
 //	go test ./internal/sim -run TestGoldenDeterminism -update
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// goldenConfigs is the fixed-seed configuration matrix the golden test
-// pins down: one run per contention mode, small enough to keep the test
-// fast but long enough to exercise warm-up, sampling, eviction, theft
-// accounting, the PInTE engine and the DRAM model.
-func goldenConfigs() map[string]Config {
-	return map[string]Config{
-		"isolation": {
-			Workload:     "450.soplex",
-			WarmupInstrs: 20_000,
-			ROIInstrs:    60_000,
-			SampleEvery:  20_000,
-			Seed:         1,
-		},
-		"pinte": {
-			Mode:         PInTE,
-			Workload:     "450.soplex",
-			PInduce:      0.3,
-			WarmupInstrs: 20_000,
-			ROIInstrs:    60_000,
-			SampleEvery:  20_000,
-			Seed:         1,
-		},
-		"second-trace": {
-			Mode:         SecondTrace,
-			Workload:     "433.milc",
-			Adversary:    "470.lbm",
-			WarmupInstrs: 20_000,
-			ROIInstrs:    60_000,
-			SampleEvery:  20_000,
-			Seed:         7,
-		},
-		"pinte-random-workload": {
-			Mode:         PInTE,
-			Workload:     "429.mcf",
-			PInduce:      0.7,
-			WarmupInstrs: 10_000,
-			ROIInstrs:    40_000,
-			SampleEvery:  20_000,
-			Seed:         3,
-		},
-	}
-}
+// goldenConfigs and goldenBytes live in goldens.go (exported) so the
+// result store's integrity gate, pintetrace store-verify, replays the
+// identical matrix against the identical serialisation.
+func goldenConfigs() map[string]Config { return GoldenConfigs() }
 
-// goldenBytes serialises a Result deterministically: WallTime is the one
-// field that legitimately varies between runs, so it is zeroed.
 func goldenBytes(t *testing.T, res *Result) []byte {
 	t.Helper()
-	r := *res
-	r.WallTime = 0
-	b, err := json.MarshalIndent(&r, "", "  ")
+	b, err := GoldenBytes(res)
 	if err != nil {
 		t.Fatalf("marshal result: %v", err)
 	}
-	return append(b, '\n')
+	return b
 }
 
 // TestGoldenDeterminism locks fixed-seed simulation output byte-for-byte.

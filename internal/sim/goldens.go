@@ -1,0 +1,63 @@
+package sim
+
+import "encoding/json"
+
+// GoldenConfigs is the fixed-seed configuration matrix the golden suite
+// pins down: one run per contention mode, small enough to stay fast but
+// long enough to exercise warm-up, sampling, eviction, theft accounting,
+// the PInTE engine and the DRAM model. The golden determinism test locks
+// these byte-for-byte against internal/sim/testdata; the result store's
+// integrity gate (pintetrace store-verify) replays the same matrix live
+// to prove a store's cached bytes still match what the simulator
+// produces today.
+func GoldenConfigs() map[string]Config {
+	return map[string]Config{
+		"isolation": {
+			Workload:     "450.soplex",
+			WarmupInstrs: 20_000,
+			ROIInstrs:    60_000,
+			SampleEvery:  20_000,
+			Seed:         1,
+		},
+		"pinte": {
+			Mode:         PInTE,
+			Workload:     "450.soplex",
+			PInduce:      0.3,
+			WarmupInstrs: 20_000,
+			ROIInstrs:    60_000,
+			SampleEvery:  20_000,
+			Seed:         1,
+		},
+		"second-trace": {
+			Mode:         SecondTrace,
+			Workload:     "433.milc",
+			Adversary:    "470.lbm",
+			WarmupInstrs: 20_000,
+			ROIInstrs:    60_000,
+			SampleEvery:  20_000,
+			Seed:         7,
+		},
+		"pinte-random-workload": {
+			Mode:         PInTE,
+			Workload:     "429.mcf",
+			PInduce:      0.7,
+			WarmupInstrs: 10_000,
+			ROIInstrs:    40_000,
+			SampleEvery:  20_000,
+			Seed:         3,
+		},
+	}
+}
+
+// GoldenBytes serialises a Result deterministically: WallTime is the one
+// field that legitimately varies between runs, so it is zeroed. The
+// output matches the golden files under internal/sim/testdata.
+func GoldenBytes(res *Result) ([]byte, error) {
+	r := *res
+	r.WallTime = 0
+	b, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,28 @@
+package store
+
+//go:generate go run repro/cmd/simfp -root ../.. -out fingerprint_gen.go
+
+// ldflagsFingerprint, when non-empty, overrides the generated simulator
+// fingerprint. Release builds can inject a freshly computed hash
+// without regenerating sources:
+//
+//	go build -ldflags "-X repro/internal/store.ldflagsFingerprint=sim-<hash>"
+//
+// The default path is the committed fingerprint_gen.go constant, kept
+// current by `go generate ./internal/store` and gated by
+// `cmd/simfp -check` (run from `make store-check`).
+var ldflagsFingerprint string
+
+// Fingerprint returns the simulator fingerprint baked into this build:
+// a content hash over every package whose code determines simulation
+// results (the sim import closure minus pure observability). Results
+// stored under one fingerprint are never served to a build with
+// another, so a changed simulator can never satisfy a lookup with a
+// stale result — old-fingerprint segments stay on disk for comparison
+// until GC reclaims them, but they are never hit.
+func Fingerprint() string {
+	if ldflagsFingerprint != "" {
+		return ldflagsFingerprint
+	}
+	return genFingerprint
+}
